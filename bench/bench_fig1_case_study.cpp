@@ -1,0 +1,111 @@
+// Figure 1 / case study 1 reproduction: chicken vs sandgrouse feather
+// morphology, end to end through the reconstruction library.
+//
+// The sandgrouse evolved coiled, water-storing barbules; the chicken's are
+// straight. The paper's point: "mount, scan, reconstruct, compare" now
+// takes ~20 minutes instead of hours. We scan both procedural specimens,
+// reconstruct them, and quantify the morphological difference the
+// beamline users see in Figure 1 — then time the same comparison on the
+// historical workstation workflow.
+#include <cstdio>
+
+#include "hpc/compute_model.hpp"
+#include "tomo/metrics.hpp"
+#include "tomo/phantom.hpp"
+#include "tomo/projector.hpp"
+#include "tomo/preprocess.hpp"
+#include "tomo/recon.hpp"
+
+using namespace alsflow;
+
+namespace {
+
+struct Morphology {
+  double material = 0.0;
+  double shell_porosity_v = 0.0;
+  double surface = 0.0;
+  double dispersion = 0.0;
+};
+
+Morphology measure(const tomo::Volume& vol, float threshold) {
+  Morphology m;
+  m.material = tomo::material_fraction(vol, threshold);
+  m.shell_porosity_v = tomo::shell_porosity(vol, threshold, 0.15, 0.85);
+  m.surface = tomo::surface_density(vol, threshold);
+  m.dispersion = tomo::vertical_dispersion(vol, threshold);
+  return m;
+}
+
+// Scan + reconstruct a specimen with the file-based pipeline settings.
+tomo::Volume scan_and_reconstruct(const tomo::Volume& specimen,
+                                  std::size_t n_angles) {
+  const std::size_t n = specimen.nx();
+  tomo::Geometry geo{n_angles, n, -1.0};
+  tomo::Volume recon(specimen.nz(), n, n);
+  for (std::size_t z = 0; z < specimen.nz(); ++z) {
+    tomo::Image sino = tomo::forward_project(specimen.slice_image(z), geo);
+    tomo::remove_rings(sino);
+    recon.set_slice(z, tomo::reconstruct_gridrec(sino, geo, n,
+                                                 tomo::FilterKind::SheppLogan));
+  }
+  return recon;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig 1: feather morphology comparison ===\n\n");
+  const std::size_t n = 64;
+  const std::size_t n_angles = 96;
+  const float threshold = 0.3f;
+
+  tomo::Volume chicken =
+      tomo::fiber_phantom(n, tomo::FiberStyle::Straight, 101);
+  tomo::Volume sandgrouse =
+      tomo::fiber_phantom(n, tomo::FiberStyle::Coiled, 101);
+
+  tomo::Volume chicken_recon = scan_and_reconstruct(chicken, n_angles);
+  tomo::Volume sandgrouse_recon = scan_and_reconstruct(sandgrouse, n_angles);
+
+  std::printf("reconstruction fidelity (vs ground truth):\n");
+  std::printf("  chicken:    rmse %.4f\n", tomo::rmse(chicken, chicken_recon));
+  std::printf("  sandgrouse: rmse %.4f\n\n",
+              tomo::rmse(sandgrouse, sandgrouse_recon));
+
+  auto c = measure(chicken_recon, threshold);
+  auto s = measure(sandgrouse_recon, threshold);
+  std::printf("morphology from reconstructed volumes:\n");
+  std::printf("  %-26s %10s %12s\n", "metric", "chicken", "sandgrouse");
+  std::printf("  %-26s %10.4f %12.4f\n", "material fraction", c.material,
+              s.material);
+  std::printf("  %-26s %10.4f %12.4f\n", "barbule-shell porosity",
+              c.shell_porosity_v, s.shell_porosity_v);
+  std::printf("  %-26s %10.3f %12.3f\n", "surface density", c.surface,
+              s.surface);
+  std::printf("  %-26s %10.4f %12.4f\n", "vertical dispersion (coiling)",
+              c.dispersion, s.dispersion);
+
+  // The discriminating signature: coiled barbules disperse along z and
+  // carry more surface per unit volume (water storage).
+  const bool signature = s.dispersion > c.dispersion && s.surface > c.surface;
+  std::printf("\ncoiled-barbule signature detected: %s\n",
+              signature ? "YES (sandgrouse)" : "NO");
+
+  // Workflow timing at paper scale (modeled).
+  hpc::ComputeModel model;
+  const Seconds scan_time = 2.0 * minutes(3);  // two 3-minute scans
+  const Seconds modern =
+      scan_time + 2.0 * model.recon_seconds(hpc::Device::CpuNode128,
+                                            tomo::Algorithm::Gridrec, 2160,
+                                            2560) / 2.0;  // parallel sites
+  const Seconds historical =
+      scan_time + 2.0 * model.recon_seconds(hpc::Device::Workstation,
+                                            tomo::Algorithm::Gridrec, 2160,
+                                            2560);
+  std::printf("\nmount-scan-reconstruct-compare, both specimens:\n");
+  std::printf("  modern pipeline:      %s (paper: ~20 minutes)\n",
+              human_duration(modern).c_str());
+  std::printf("  historical workflow:  %s (paper: hours)\n",
+              human_duration(historical).c_str());
+  return signature ? 0 : 1;
+}

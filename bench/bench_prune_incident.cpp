@@ -1,0 +1,88 @@
+// Section 5.3 incident replay: a burst of concurrent Globus "prune"
+// requests hits permission-denied, leaving jobs hanging and saturating the
+// queue. The fix was to fail early and auto-cancel remote work.
+//
+// We run both behaviours against an endpoint whose deletes are denied and
+// measure (a) how long each pruning pass hangs, (b) how much the work pool
+// is saturated, and (c) whether beamline flows keep flowing meanwhile.
+#include <cstdio>
+
+#include "pipeline/campaign.hpp"
+#include "pipeline/facility.hpp"
+
+using namespace alsflow;
+
+namespace {
+
+struct IncidentResult {
+  double prune_duration_mean = 0.0;
+  std::size_t prune_failures = 0;
+  double scan_flow_median = 0.0;
+};
+
+IncidentResult run(bool fail_early) {
+  pipeline::FacilityConfig config;
+  config.fail_early = fail_early;
+  config.seed = 3;
+  pipeline::Facility facility(config);
+
+  // Aged data that the pruning pass will try (and fail) to delete.
+  for (int i = 0; i < 60; ++i) {
+    (void)facility.beamline_data().put("/raw/aged-" + std::to_string(i),
+                                       10 * GB, 1, 0.0);
+  }
+  facility.beamline_data().deny("remove", "/raw/aged-");
+
+  // Bring the clock past the retention window, then run a short beamtime
+  // while the (doomed) pruning schedule fires repeatedly.
+  facility.engine().run_until(days(11));
+  facility.start_pruning(hours(1));
+
+  pipeline::CampaignConfig campaign;
+  campaign.duration = hours(4);
+  campaign.scan_interval_mean = 300.0;
+  campaign.streaming_fraction = 0.0;
+  campaign.seed = 5;
+  campaign.randomize_kind = false;
+  campaign.fixed_kind = pipeline::ScanKind::Standard;
+  auto report = pipeline::run_campaign(facility, campaign);
+
+  IncidentResult result;
+  OnlineStats prune_durations;
+  for (const auto& rec : facility.run_db().runs("prune_beamline")) {
+    if (rec.state == flow::RunState::Failed) {
+      ++result.prune_failures;
+      prune_durations.add(rec.duration());
+    }
+  }
+  result.prune_duration_mean = prune_durations.mean();
+  result.scan_flow_median = report.new_file.median;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Sec 5.3: prune permission-denied incident replay ===\n\n");
+
+  IncidentResult naive = run(/*fail_early=*/false);
+  IncidentResult fixed = run(/*fail_early=*/true);
+
+  std::printf("%-34s %14s %14s\n", "", "naive (pre)", "fail-early (post)");
+  std::printf("%-34s %14zu %14zu\n", "failed pruning passes",
+              naive.prune_failures, fixed.prune_failures);
+  std::printf("%-34s %14s %14s\n", "mean hang per pass",
+              human_duration(naive.prune_duration_mean).c_str(),
+              human_duration(fixed.prune_duration_mean).c_str());
+  std::printf("%-34s %14s %14s\n", "new_file_832 median meanwhile",
+              human_duration(naive.scan_flow_median).c_str(),
+              human_duration(fixed.scan_flow_median).c_str());
+
+  const double ratio =
+      naive.prune_duration_mean / std::max(fixed.prune_duration_mean, 1e-9);
+  std::printf("\nfail-early resolves each pass %.0fx faster and surfaces the "
+              "error immediately\n", ratio);
+  std::printf("shape check: naive hang >> fail-early %s\n",
+              ratio > 50.0 ? "OK" : "VIOLATED");
+  return ratio > 50.0 ? 0 : 1;
+}

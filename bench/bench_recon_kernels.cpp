@@ -1,0 +1,71 @@
+// Microbenchmarks of the reconstruction kernels (the compute rates behind
+// the paper's TomoPy / streamtomocupy stages). These calibrate the
+// simulation's ComputeModel and expose the FBP vs gridrec vs iterative
+// trade-off that motivates the dual-path design.
+#include <benchmark/benchmark.h>
+
+#include "tomo/phantom.hpp"
+#include "tomo/projector.hpp"
+#include "tomo/recon.hpp"
+
+namespace {
+
+using namespace alsflow;
+
+tomo::Image sino_for(std::size_t n, std::size_t n_angles) {
+  tomo::Geometry geo{n_angles, n, -1.0};
+  return tomo::analytic_sinogram(tomo::shepp_logan_ellipses(), geo);
+}
+
+void BM_ForwardProject(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  tomo::Geometry geo{n, n, -1.0};
+  tomo::Image img = tomo::shepp_logan(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tomo::forward_project(img, geo));
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(n * n * n));
+}
+BENCHMARK(BM_ForwardProject)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_FbpSlice(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  tomo::Geometry geo{n, n, -1.0};
+  tomo::Image sino = sino_for(n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tomo::reconstruct_fbp(sino, geo, n, tomo::FilterKind::SheppLogan));
+  }
+  // FBP cost ~ n_angles * n^2 interpolation ops.
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(n * n * n));
+}
+BENCHMARK(BM_FbpSlice)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GridrecSlice(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  tomo::Geometry geo{n, n, -1.0};
+  tomo::Image sino = sino_for(n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tomo::reconstruct_gridrec(sino, geo, n, tomo::FilterKind::SheppLogan));
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(n * n * n));
+}
+BENCHMARK(BM_GridrecSlice)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SirtSlice(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  tomo::Geometry geo{n, n, -1.0};
+  tomo::Image sino = sino_for(n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tomo::reconstruct_sirt(sino, geo, n, 10));
+  }
+}
+BENCHMARK(BM_SirtSlice)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Case study 1 (Figure 1): chicken vs sandgrouse feather morphology.
+//
+// Scans two procedural feather specimens, reconstructs them with the
+// file-based pipeline's algorithm, registers everything in the metadata
+// catalogue, serves both through the Tiled access service, and prints the
+// side-by-side comparison that motivates the case study.
+#include <cstdio>
+#include <memory>
+
+#include "access/render.hpp"
+#include "access/tiled.hpp"
+#include "catalog/scicat.hpp"
+#include "data/multiscale.hpp"
+#include "tomo/metrics.hpp"
+#include "tomo/phantom.hpp"
+#include "tomo/preprocess.hpp"
+#include "tomo/projector.hpp"
+#include "tomo/recon.hpp"
+
+using namespace alsflow;
+
+namespace {
+
+tomo::Volume reconstruct(const tomo::Volume& specimen, std::size_t n_angles) {
+  const std::size_t n = specimen.nx();
+  tomo::Geometry geo{n_angles, n, -1.0};
+  tomo::Volume recon(specimen.nz(), n, n);
+  for (std::size_t z = 0; z < specimen.nz(); ++z) {
+    tomo::Image sino = tomo::forward_project(specimen.slice_image(z), geo);
+    tomo::remove_rings(sino);
+    recon.set_slice(
+        z, tomo::reconstruct_gridrec(sino, geo, n, tomo::FilterKind::SheppLogan));
+  }
+  return recon;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== case study 1: feather morphology comparison ===\n\n");
+  const std::size_t n = 64;
+  const float thr = 0.3f;
+
+  catalog::SciCatalog scicat;
+  access::TiledService tiled;
+
+  struct Specimen {
+    const char* name;
+    tomo::FiberStyle style;
+  };
+  const Specimen specimens[] = {
+      {"chicken", tomo::FiberStyle::Straight},
+      {"sandgrouse", tomo::FiberStyle::Coiled},
+  };
+
+  struct Row {
+    std::string name;
+    double surface, dispersion, porosity;
+  };
+  std::vector<Row> rows;
+
+  for (const auto& s : specimens) {
+    tomo::Volume truth = tomo::fiber_phantom(n, s.style, 101);
+    tomo::Volume recon = reconstruct(truth, 96);
+
+    auto raw_pid = scicat.ingest(catalog::DatasetType::Raw,
+                                 std::string("/raw/") + s.name + ".ah5",
+                                 "als-data", 0.0,
+                                 {{"sample", s.name}, {"technique", "uCT"}});
+    scicat.ingest(catalog::DatasetType::Derived,
+                  std::string("/recon/") + s.name + ".zarr", "als-data", 60.0,
+                  {{"sample", s.name}, {"algorithm", "gridrec"}}, raw_pid);
+
+    tiled.register_volume(s.name,
+                          std::make_shared<data::MultiscaleVolume>(
+                              data::MultiscaleVolume::build(recon, 3)));
+
+    rows.push_back({s.name, tomo::surface_density(recon, thr),
+                    tomo::vertical_dispersion(recon, thr),
+                    tomo::shell_porosity(recon, thr, 0.15, 0.85)});
+
+    auto slice = tiled.slice(s.name, 0, 0, n / 2);
+    std::printf("[%s] central slice:\n%s\n", s.name,
+                access::ascii_render(slice.value(), 48).c_str());
+  }
+
+  std::printf("%-12s %12s %12s %12s\n", "specimen", "surface", "dispersion",
+              "porosity");
+  for (const auto& r : rows) {
+    std::printf("%-12s %12.3f %12.4f %12.4f\n", r.name.c_str(), r.surface,
+                r.dispersion, r.porosity);
+  }
+  std::printf("\nsandgrouse coiled barbules: %s\n",
+              rows[1].dispersion > rows[0].dispersion
+                  ? "detected (higher z-dispersion = water-storing coils)"
+                  : "NOT detected");
+
+  std::printf("\ncatalogue: %zu datasets; feather search hits: %zu\n",
+              scicat.size(), scicat.search("technique", "uCT").size());
+  std::printf("tiled service served %s over %zu requests\n",
+              human_bytes(tiled.bytes_served()).c_str(), tiled.requests());
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Case study 2: fracking-proppant retrospective.
+//
+// The paper reanalyzes a 2020 micro-CT dataset of proppant-filled shale
+// fractures with the new infrastructure: reconstruct, segment, and export
+// for communication (VR). We reproduce the analysis chain: reconstruct the
+// proppant phantom, threshold-segment the three phases, compute fracture
+// metrics, build the multiscale pyramid the viewer streams, and export
+// presentation slices.
+#include <cstdio>
+#include <memory>
+
+#include "access/render.hpp"
+#include "access/tiled.hpp"
+#include "data/multiscale.hpp"
+#include "data/tiff.hpp"
+#include "tomo/metrics.hpp"
+#include "tomo/phantom.hpp"
+#include "tomo/projector.hpp"
+#include "tomo/recon.hpp"
+
+using namespace alsflow;
+
+int main() {
+  std::printf("=== case study 2: 2020 proppant dataset, reprocessed ===\n\n");
+  const std::size_t n = 64;
+  const std::size_t n_angles = 128;
+
+  // The "archived raw data": a propped fracture in shale.
+  tomo::Volume truth = tomo::proppant_phantom(n, 2020);
+
+  // Reconstruct slice by slice (iterative pass for segmentation quality).
+  tomo::Geometry geo{n_angles, n, -1.0};
+  tomo::Volume recon(n, n, n);
+  for (std::size_t z = 0; z < n; ++z) {
+    tomo::Image sino = tomo::forward_project(truth.slice_image(z), geo);
+    recon.set_slice(z, tomo::reconstruct_slice(
+                           sino, geo, n,
+                           {tomo::Algorithm::FBP, tomo::FilterKind::SheppLogan,
+                            0, true}));
+  }
+  std::printf("reconstruction rmse vs archive ground truth: %.4f\n\n",
+              tomo::rmse(truth, recon));
+
+  // Three-phase segmentation by thresholding the attenuation histogram:
+  // void (< 0.25) / shale (~0.5) / ceramic proppant (~1.0).
+  std::size_t voids = 0, shale = 0, proppant = 0;
+  for (float v : recon.span()) {
+    if (v < 0.25f) {
+      ++voids;
+    } else if (v < 0.75f) {
+      ++shale;
+    } else {
+      ++proppant;
+    }
+  }
+  const double total = double(recon.size());
+  std::printf("phase segmentation:\n");
+  std::printf("  void/fracture: %5.1f%%\n", 100.0 * voids / total);
+  std::printf("  shale matrix:  %5.1f%%\n", 100.0 * shale / total);
+  std::printf("  proppant:      %5.1f%%\n\n", 100.0 * proppant / total);
+
+  // Fracture metrics: proppant keeps the fracture open; measure the
+  // propped aperture as the void+proppant fraction in the central plane.
+  std::size_t open_voxels = 0, plane_voxels = 0;
+  for (std::size_t z = 0; z < n; ++z) {
+    for (std::size_t y = 0; y < n; ++y) {
+      ++plane_voxels;
+      if (recon.at(z, y, n / 2) < 0.25f || recon.at(z, y, n / 2) >= 0.75f) {
+        ++open_voxels;
+      }
+    }
+  }
+  std::printf("central-plane open fraction (propped aperture): %.2f\n",
+              double(open_voxels) / double(plane_voxels));
+  std::printf("proppant surface density: %.3f (contact/embedment proxy)\n\n",
+              tomo::surface_density(recon, 0.75f));
+
+  // Access products: multiscale pyramid + presentation exports.
+  access::TiledService tiled;
+  tiled.register_volume("proppant-2020",
+                        std::make_shared<data::MultiscaleVolume>(
+                            data::MultiscaleVolume::build(recon, 3)));
+  auto overview = tiled.preview("proppant-2020", 2);  // coarse yz cut
+  auto detail = tiled.slice("proppant-2020", 0, 2, n / 2);
+
+  std::printf("fracture cross-section (x = center):\n%s\n",
+              access::ascii_render(detail.value(), 56).c_str());
+
+  (void)access::write_pgm("proppant_overview.pgm", overview.value());
+  (void)access::write_pgm("proppant_detail.pgm", detail.value());
+  auto stack = data::write_tiff_stack("proppant_tiff", recon);
+  std::printf("exports: proppant_overview.pgm, proppant_detail.pgm, "
+              "proppant_tiff/ (%zu slices for Dragonfly/VR texturing)\n",
+              stack.ok() ? stack.value() : 0);
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "access/render.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+namespace alsflow::access {
+
+namespace {
+
+void window(const tomo::Image& img, float& lo, float& hi) {
+  lo = std::numeric_limits<float>::max();
+  hi = std::numeric_limits<float>::lowest();
+  for (float v : img.span()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) hi = lo + 1.0f;
+}
+
+}  // namespace
+
+Status write_pgm(const std::string& path, const tomo::Image& img) {
+  float lo, hi;
+  window(img, lo, hi);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Error::make("io_error", "cannot open " + path);
+  std::fprintf(f, "P5\n%zu %zu\n255\n", img.nx(), img.ny());
+  std::vector<unsigned char> row(img.nx());
+  for (std::size_t y = 0; y < img.ny(); ++y) {
+    for (std::size_t x = 0; x < img.nx(); ++x) {
+      const float norm = (img.at(y, x) - lo) / (hi - lo);
+      row[x] = static_cast<unsigned char>(
+          std::clamp(norm, 0.0f, 1.0f) * 255.0f + 0.5f);
+    }
+    std::fwrite(row.data(), 1, row.size(), f);
+  }
+  std::fclose(f);
+  return Status::success();
+}
+
+std::string ascii_render(const tomo::Image& img, std::size_t width) {
+  static const char ramp[] = " .:-=+*#%@";
+  constexpr std::size_t ramp_size = sizeof(ramp) - 2;  // index of last char
+  float lo, hi;
+  window(img, lo, hi);
+
+  width = std::min(width, img.nx());
+  // Terminal cells are ~2x taller than wide; halve the row count.
+  const std::size_t height =
+      std::max<std::size_t>(1, img.ny() * width / img.nx() / 2);
+
+  std::string out;
+  out.reserve((width + 1) * height);
+  for (std::size_t r = 0; r < height; ++r) {
+    const std::size_t y = r * img.ny() / height;
+    for (std::size_t c = 0; c < width; ++c) {
+      const std::size_t x = c * img.nx() / width;
+      const float norm = (img.at(y, x) - lo) / (hi - lo);
+      const auto idx = std::size_t(std::clamp(norm, 0.0f, 1.0f) *
+                                   float(ramp_size));
+      out.push_back(ramp[idx]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace alsflow::access

@@ -1,0 +1,19 @@
+// Lightweight renderers for previews: PGM files (openable anywhere, the
+// ImageJ stand-in) and ASCII art for terminal examples.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "tomo/image.hpp"
+
+namespace alsflow::access {
+
+// 8-bit binary PGM with min/max windowing.
+Status write_pgm(const std::string& path, const tomo::Image& img);
+
+// Terminal rendering: `width` characters wide, aspect-corrected,
+// darkest-to-brightest ramp " .:-=+*#%@".
+std::string ascii_render(const tomo::Image& img, std::size_t width = 64);
+
+}  // namespace alsflow::access

@@ -1,0 +1,40 @@
+#include "access/tiled.hpp"
+
+namespace alsflow::access {
+
+void TiledService::register_volume(
+    const std::string& key,
+    std::shared_ptr<const data::MultiscaleVolume> volume) {
+  volumes_[key] = std::move(volume);
+}
+
+std::vector<std::string> TiledService::keys() const {
+  std::vector<std::string> out;
+  out.reserve(volumes_.size());
+  for (const auto& [k, v] : volumes_) out.push_back(k);
+  return out;
+}
+
+Result<tomo::Image> TiledService::slice(const std::string& key,
+                                        std::size_t level, int axis,
+                                        std::size_t index) {
+  auto it = volumes_.find(key);
+  if (it == volumes_.end()) return Error::make("not_found", key);
+  ++requests_;
+  auto img = it->second->slice(level, axis, index);
+  if (img.ok()) bytes_served_ += Bytes(img.value().size()) * 4;
+  return img;
+}
+
+Result<tomo::Image> TiledService::preview(const std::string& key, int axis) {
+  auto it = volumes_.find(key);
+  if (it == volumes_.end()) return Error::make("not_found", key);
+  const auto& ms = *it->second;
+  const std::size_t level = ms.n_levels() - 1;
+  const auto& coarse = ms.level(level);
+  const std::size_t mid =
+      axis == 0 ? coarse.nz() / 2 : (axis == 1 ? coarse.ny() / 2 : coarse.nx() / 2);
+  return slice(key, level, axis, mid);
+}
+
+}  // namespace alsflow::access

@@ -1,0 +1,42 @@
+// Tiled-equivalent data access service.
+//
+// Serves reconstructed volumes to viewers: clients ask for axis-aligned
+// slices at a resolution level (itk-vtk-viewer streams coarse levels
+// first) and the service accounts the bytes it ships. Volumes are
+// registered by key (usually the SciCat PID or scan id).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "data/multiscale.hpp"
+
+namespace alsflow::access {
+
+class TiledService {
+ public:
+  void register_volume(const std::string& key,
+                       std::shared_ptr<const data::MultiscaleVolume> volume);
+  bool has(const std::string& key) const { return volumes_.count(key) > 0; }
+  std::vector<std::string> keys() const;
+
+  // Slice request: axis 0 = z, 1 = y, 2 = x, at pyramid `level`.
+  Result<tomo::Image> slice(const std::string& key, std::size_t level,
+                            int axis, std::size_t index);
+
+  // Coarsest available level for a progressive first paint.
+  Result<tomo::Image> preview(const std::string& key, int axis = 0);
+
+  Bytes bytes_served() const { return bytes_served_; }
+  std::size_t requests() const { return requests_; }
+
+ private:
+  std::map<std::string, std::shared_ptr<const data::MultiscaleVolume>>
+      volumes_;
+  Bytes bytes_served_ = 0;
+  std::size_t requests_ = 0;
+};
+
+}  // namespace alsflow::access

@@ -1,0 +1,101 @@
+#include "beamline/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "tomo/geometry.hpp"
+#include "tomo/projector.hpp"
+
+namespace alsflow::beamline {
+
+sim::Future<data::ScanMetadata> Detector::acquire_impl(data::ScanMetadata scan) {
+  const Seconds frame_interval = 1.0 / config_.frame_rate;
+  const Bytes fb = frame_bytes(scan);
+  std::size_t emitted = 0;
+  while (emitted < scan.n_angles) {
+    const std::size_t n =
+        std::min(config_.batch_size, scan.n_angles - emitted);
+    co_await sim::delay(eng_, frame_interval * double(n));
+    FrameBatch batch;
+    batch.scan_id = scan.scan_id;
+    batch.first_angle = emitted;
+    batch.count = n;
+    batch.bytes = fb * n;
+    batch.acquired_at = eng_.now();
+    emitted += n;
+    batch.last_of_scan = emitted == scan.n_angles;
+    ioc_.publish(std::move(batch));
+  }
+  scan.acquired_at = eng_.now();
+  ++scans_acquired_;
+  log_info("detector") << "scan " << scan.scan_id << " acquired ("
+                       << scan.n_angles << " frames, "
+                       << human_bytes(scan.raw_bytes()) << ")";
+  co_return scan;
+}
+
+tomo::Image Detector::reference_dark(const data::ScanMetadata& scan) const {
+  return tomo::Image(scan.rows, scan.cols, float(config_.dark_level));
+}
+
+tomo::Image Detector::reference_flat(const data::ScanMetadata& scan) const {
+  return tomo::Image(scan.rows, scan.cols,
+                     float(config_.dark_level + config_.noise_i0));
+}
+
+sim::Future<data::ScanMetadata> Detector::acquire_with_pixels_impl(
+    data::ScanMetadata scan, std::shared_ptr<const tomo::Volume> specimen) {
+  const Seconds frame_interval = 1.0 / config_.frame_rate;
+  const Bytes fb = frame_bytes(scan);
+
+  // Pre-compute per-slice sinograms once; frames are regrouped by angle.
+  tomo::Geometry geo{scan.n_angles, scan.cols, -1.0};
+  std::vector<tomo::Image> sinos(scan.rows);
+  for (std::size_t z = 0; z < scan.rows; ++z) {
+    sinos[z] = tomo::forward_project(specimen->slice_image(z), geo);
+  }
+
+  std::size_t emitted = 0;
+  while (emitted < scan.n_angles) {
+    const std::size_t n =
+        std::min(config_.batch_size, scan.n_angles - emitted);
+    co_await sim::delay(eng_, frame_interval * double(n));
+
+    auto pixels = std::make_shared<std::vector<tomo::Image>>();
+    pixels->reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t a = emitted + k;
+      tomo::Image frame(scan.rows, scan.cols);
+      for (std::size_t z = 0; z < scan.rows; ++z) {
+        for (std::size_t t = 0; t < scan.cols; ++t) {
+          const double transmitted =
+              config_.noise_i0 * std::exp(-double(sinos[z].at(a, t)));
+          double counts = config_.dark_level + transmitted;
+          if (config_.poisson_noise) {
+            counts = config_.dark_level +
+                     double(rng_.poisson(std::max(transmitted, 0.0)));
+          }
+          frame.at(z, t) = float(counts);
+        }
+      }
+      pixels->push_back(std::move(frame));
+    }
+
+    FrameBatch batch;
+    batch.scan_id = scan.scan_id;
+    batch.first_angle = emitted;
+    batch.count = n;
+    batch.bytes = fb * n;
+    batch.acquired_at = eng_.now();
+    batch.pixels = std::shared_ptr<const std::vector<tomo::Image>>(pixels);
+    emitted += n;
+    batch.last_of_scan = emitted == scan.n_angles;
+    ioc_.publish(std::move(batch));
+  }
+  scan.acquired_at = eng_.now();
+  ++scans_acquired_;
+  co_return scan;
+}
+
+}  // namespace alsflow::beamline

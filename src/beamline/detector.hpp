@@ -1,0 +1,73 @@
+// Detector simulator (EPICS IOC equivalent).
+//
+// Runs an acquisition on the simulation clock: frames are produced at the
+// configured rate and published as FrameBatch messages on the IOC channel,
+// where the PVA mirror fans them out to the file-writer and the optional
+// streaming service. In real-pixel mode the detector forward-projects a
+// phantom volume so downstream consumers reconstruct actual images; in
+// modeled mode only byte counts flow.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "beamline/frames.hpp"
+#include "common/rng.hpp"
+#include "net/pubsub.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace alsflow::beamline {
+
+class Detector {
+ public:
+  struct Config {
+    double frame_rate = 11.0;       // frames/s (3-minute 1969-frame scans)
+    std::size_t batch_size = 64;    // frames per published batch
+    double noise_i0 = 10000.0;      // photon budget per pixel (real mode)
+    double dark_level = 50.0;
+    bool poisson_noise = true;
+  };
+
+  Detector(sim::Engine& eng, Config config, std::uint64_t seed = 7)
+      : eng_(eng), config_(config), rng_(seed), ioc_(eng, "ioc") {}
+
+  net::Channel<FrameBatch>& ioc_channel() { return ioc_; }
+
+  // Run an acquisition in modeled mode (sizes only). Resolves with the
+  // completed metadata (acquired_at stamped) when the last frame is out.
+  // (Wrapper over the coroutine impl: see flow/engine.hpp on GCC 12.)
+  sim::Future<data::ScanMetadata> acquire(data::ScanMetadata scan) {
+    return acquire_impl(std::move(scan));
+  }
+
+  // Run an acquisition with real pixels projected from `specimen`
+  // (specimen.nz == scan.rows, specimen.nx == scan.cols). The dark/flat
+  // reference fields used for count synthesis are available to consumers.
+  sim::Future<data::ScanMetadata> acquire_with_pixels(
+      data::ScanMetadata scan, std::shared_ptr<const tomo::Volume> specimen) {
+    return acquire_with_pixels_impl(std::move(scan), std::move(specimen));
+  }
+
+  tomo::Image reference_dark(const data::ScanMetadata& scan) const;
+  tomo::Image reference_flat(const data::ScanMetadata& scan) const;
+
+  std::size_t scans_acquired() const { return scans_acquired_; }
+
+ private:
+  sim::Future<data::ScanMetadata> acquire_impl(data::ScanMetadata scan);
+  sim::Future<data::ScanMetadata> acquire_with_pixels_impl(
+      data::ScanMetadata scan, std::shared_ptr<const tomo::Volume> specimen);
+
+  Bytes frame_bytes(const data::ScanMetadata& scan) const {
+    return Bytes(scan.rows) * scan.cols * (scan.bit_depth / 8);
+  }
+
+  sim::Engine& eng_;
+  Config config_;
+  Rng rng_;
+  net::Channel<FrameBatch> ioc_;
+  std::size_t scans_acquired_ = 0;
+};
+
+}  // namespace alsflow::beamline

@@ -1,0 +1,32 @@
+// Frame messages exchanged on the beamline's PVA channels.
+//
+// A FrameBatch groups consecutive projection frames of one scan: at
+// production rates (~11 MB/frame, tens of frames per second) per-frame
+// events would dominate simulation cost, so the IOC publishes batches and
+// consumers account bytes per batch. For small, real-pixel scans
+// (tests/examples) each batch can carry actual images.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "data/scan_meta.hpp"
+#include "tomo/image.hpp"
+
+namespace alsflow::beamline {
+
+struct FrameBatch {
+  std::string scan_id;
+  std::size_t first_angle = 0;
+  std::size_t count = 0;
+  Bytes bytes = 0;            // payload size on the wire
+  Seconds acquired_at = 0.0;  // when the last frame of the batch was read
+
+  // Real pixels, one image per frame (empty in modeled mode).
+  std::shared_ptr<const std::vector<tomo::Image>> pixels;
+
+  bool last_of_scan = false;
+};
+
+}  // namespace alsflow::beamline

@@ -1,0 +1,69 @@
+#include "catalog/scicat.hpp"
+
+#include <cstdio>
+
+namespace alsflow::catalog {
+
+std::string SciCatalog::ingest(DatasetType type, const std::string& source_path,
+                               const std::string& endpoint, Seconds now,
+                               std::map<std::string, std::string> fields,
+                               const std::string& parent_pid) {
+  char pid[48];
+  std::snprintf(pid, sizeof pid, "als/%08llu",
+                static_cast<unsigned long long>(next_id_++));
+  DatasetRecord rec;
+  rec.pid = pid;
+  rec.type = type;
+  rec.source_path = source_path;
+  rec.endpoint = endpoint;
+  rec.created_at = now;
+  rec.parent_pid = parent_pid;
+  rec.fields = std::move(fields);
+  records_.emplace(rec.pid, rec);
+  order_.push_back(rec.pid);
+  return pid;
+}
+
+Result<DatasetRecord> SciCatalog::get(const std::string& pid) const {
+  auto it = records_.find(pid);
+  if (it == records_.end()) return Error::make("not_found", pid);
+  return it->second;
+}
+
+std::vector<DatasetRecord> SciCatalog::search(const std::string& key,
+                                              const std::string& value) const {
+  std::vector<DatasetRecord> out;
+  for (const auto& pid : order_) {
+    const auto& rec = records_.at(pid);
+    auto f = rec.fields.find(key);
+    if (f != rec.fields.end() && f->second == value) out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<DatasetRecord> SciCatalog::search_text(
+    const std::string& needle) const {
+  std::vector<DatasetRecord> out;
+  for (const auto& pid : order_) {
+    const auto& rec = records_.at(pid);
+    for (const auto& [k, v] : rec.fields) {
+      if (v.find(needle) != std::string::npos) {
+        out.push_back(rec);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<DatasetRecord> SciCatalog::derived_from(
+    const std::string& pid) const {
+  std::vector<DatasetRecord> out;
+  for (const auto& id : order_) {
+    const auto& rec = records_.at(id);
+    if (rec.parent_pid == pid) out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace alsflow::catalog

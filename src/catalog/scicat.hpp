@@ -1,0 +1,58 @@
+// SciCat-equivalent metadata catalogue.
+//
+// Every acquisition is ingested as a *raw* dataset; reconstruction products
+// are ingested as *derived* datasets with provenance links to their raw
+// parent. Users search by field (proposal, sample, instrument) or free
+// text — the FAIR "findable" leg of the access layer.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace alsflow::catalog {
+
+enum class DatasetType { Raw, Derived };
+
+struct DatasetRecord {
+  std::string pid;          // persistent identifier
+  DatasetType type = DatasetType::Raw;
+  std::string source_path;  // where the bytes live
+  std::string endpoint;     // storage endpoint name
+  Seconds created_at = 0.0;
+  std::string parent_pid;   // provenance (derived -> raw)
+  std::map<std::string, std::string> fields;  // scientific metadata
+};
+
+class SciCatalog {
+ public:
+  // Ingest a dataset; returns the assigned PID.
+  std::string ingest(DatasetType type, const std::string& source_path,
+                     const std::string& endpoint, Seconds now,
+                     std::map<std::string, std::string> fields,
+                     const std::string& parent_pid = "");
+
+  Result<DatasetRecord> get(const std::string& pid) const;
+
+  // Exact-match field search (key == value).
+  std::vector<DatasetRecord> search(const std::string& key,
+                                    const std::string& value) const;
+
+  // Case-sensitive substring search across all field values.
+  std::vector<DatasetRecord> search_text(const std::string& needle) const;
+
+  // Derived datasets whose parent is `pid` (provenance fan-out).
+  std::vector<DatasetRecord> derived_from(const std::string& pid) const;
+
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::map<std::string, DatasetRecord> records_;
+  std::vector<std::string> order_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace alsflow::catalog

@@ -1,0 +1,27 @@
+#include "common/checksum.hpp"
+
+namespace alsflow {
+
+void Fnv1a64::update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h_ ^= p[i];
+    h_ *= 0x100000001B3ull;
+  }
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t len) {
+  Fnv1a64 h;
+  h.update(data, len);
+  return h.digest();
+}
+
+std::uint64_t fnv1a64(const std::string& s) { return fnv1a64(s.data(), s.size()); }
+
+std::uint64_t combine_digests(std::uint64_t a, std::uint64_t b) {
+  // boost::hash_combine-style mix, widened to 64 bits.
+  a ^= b + 0x9E3779B97F4A7C15ull + (a << 12) + (a >> 4);
+  return a;
+}
+
+}  // namespace alsflow

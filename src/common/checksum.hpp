@@ -1,0 +1,34 @@
+// Content checksums for transfer integrity verification.
+//
+// Globus Transfer verifies per-file checksums after each move; we do the
+// same with FNV-1a 64 over real buffers, and with a composable "synthetic"
+// digest for simulated files whose bytes are never materialized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace alsflow {
+
+// Incremental FNV-1a 64-bit hash.
+class Fnv1a64 {
+ public:
+  void update(const void* data, std::size_t len);
+  void update(std::span<const std::byte> bytes) {
+    update(bytes.data(), bytes.size());
+  }
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ull;
+};
+
+std::uint64_t fnv1a64(const void* data, std::size_t len);
+std::uint64_t fnv1a64(const std::string& s);
+
+// Order-sensitive combination of two digests (for chunked/synthetic files).
+std::uint64_t combine_digests(std::uint64_t a, std::uint64_t b);
+
+}  // namespace alsflow

@@ -1,0 +1,29 @@
+// Monotonic typed identifiers for runs, jobs, transfers, datasets.
+//
+// Production systems use UUIDs; we use per-process counters with a short
+// prefix ("flowrun-000042") so logs stay readable and runs reproducible.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace alsflow {
+
+class IdGenerator {
+ public:
+  explicit IdGenerator(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  std::string next() {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s-%06llu", prefix_.c_str(),
+                  static_cast<unsigned long long>(counter_.fetch_add(1) + 1));
+    return buf;
+  }
+
+ private:
+  std::string prefix_;
+  std::atomic<unsigned long long> counter_{0};
+};
+
+}  // namespace alsflow

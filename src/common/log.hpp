@@ -1,0 +1,54 @@
+// Minimal leveled logger with component tags.
+//
+// Services log under a component name ("prefect", "globus", "slurm", ...).
+// The global level defaults to Warn so tests and benches stay quiet;
+// examples raise it to Info to narrate the pipeline.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace alsflow {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Thread-safe write of one formatted line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_debug(std::string c) {
+  return detail::LogStream(LogLevel::Debug, std::move(c));
+}
+inline detail::LogStream log_info(std::string c) {
+  return detail::LogStream(LogLevel::Info, std::move(c));
+}
+inline detail::LogStream log_warn(std::string c) {
+  return detail::LogStream(LogLevel::Warn, std::move(c));
+}
+inline detail::LogStream log_error(std::string c) {
+  return detail::LogStream(LogLevel::Error, std::move(c));
+}
+
+}  // namespace alsflow

@@ -1,0 +1,73 @@
+// Lightweight Result<T> error handling (no exceptions across service
+// boundaries — failed transfers and rejected jobs are ordinary outcomes
+// that flows must branch on and retry).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace alsflow {
+
+struct Error {
+  // Stable machine-readable code ("permission_denied", "timeout",
+  // "checksum_mismatch", "not_found", "capacity", ...).
+  std::string code;
+  // Human-readable detail for logs.
+  std::string message;
+
+  static Error make(std::string code, std::string message = {}) {
+    return Error{std::move(code), std::move(message)};
+  }
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}           // NOLINT(implicit)
+  Result(Error error) : v_(std::move(error)) {}       // NOLINT(implicit)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(v_);
+  }
+
+  T value_or(T fallback) const { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;                                  // success
+  Status(Error error) : err_(std::move(error)), ok_(false) {}  // NOLINT
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const Error& error() const {
+    assert(!ok_);
+    return err_;
+  }
+
+  static Status success() { return Status(); }
+
+ private:
+  Error err_;
+  bool ok_ = true;
+};
+
+}  // namespace alsflow

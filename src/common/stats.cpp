@@ -1,0 +1,62 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace alsflow {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / double(n_ - 1));
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  double pos = q * double(sorted.size() - 1);
+  std::size_t lo = std::size_t(pos);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - double(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  OnlineStats acc;
+  for (double x : samples) acc.add(x);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = percentile_sorted(samples, 0.5);
+  s.p05 = percentile_sorted(samples, 0.05);
+  s.p95 = percentile_sorted(samples, 0.95);
+  return s;
+}
+
+std::string Summary::row(int precision) const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%zu  %.*f +/- %.*f  %.*f  [%.*f, %.*f]", n,
+                precision, mean, precision, stddev, precision, median,
+                precision, min, precision, max);
+  return buf;
+}
+
+}  // namespace alsflow

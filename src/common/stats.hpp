@@ -1,0 +1,53 @@
+// Summary statistics used for experiment reporting (Table 2 style rows)
+// and for online aggregation inside services.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace alsflow {
+
+// Single-pass (Welford) accumulator: mean/variance/min/max without storing
+// samples. Used where sample counts may be large (per-frame metrics).
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  // Sample standard deviation (n-1 denominator), 0 for n < 2.
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * double(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Full-sample summary: adds median and arbitrary percentiles. This is what
+// the Table 2 reproduction prints.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p05 = 0.0;
+  double p95 = 0.0;
+
+  // "120 +/- 171   56   [30, 676]" with the given precision.
+  std::string row(int precision = 0) const;
+};
+
+Summary summarize(std::vector<double> samples);
+
+// Linear-interpolated percentile of a *sorted* sample vector, q in [0,1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace alsflow

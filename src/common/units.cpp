@@ -1,0 +1,42 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace alsflow {
+
+std::string human_bytes(Bytes b) {
+  char buf[64];
+  if (b >= TiB) {
+    std::snprintf(buf, sizeof buf, "%.2f TiB", double(b) / double(TiB));
+  } else if (b >= GiB) {
+    std::snprintf(buf, sizeof buf, "%.2f GiB", double(b) / double(GiB));
+  } else if (b >= MiB) {
+    std::snprintf(buf, sizeof buf, "%.1f MiB", double(b) / double(MiB));
+  } else if (b >= KiB) {
+    std::snprintf(buf, sizeof buf, "%.1f KiB", double(b) / double(KiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+
+std::string human_duration(Seconds s) {
+  char buf[64];
+  if (s < 0) {
+    return "-" + human_duration(-s);
+  }
+  if (s < 60.0) {
+    std::snprintf(buf, sizeof buf, "%.1fs", s);
+  } else if (s < 3600.0) {
+    int m = int(s / 60.0);
+    std::snprintf(buf, sizeof buf, "%dm %02.0fs", m, s - m * 60.0);
+  } else {
+    int h = int(s / 3600.0);
+    int m = int((s - h * 3600.0) / 60.0);
+    std::snprintf(buf, sizeof buf, "%dh %02dm", h, m);
+  }
+  return buf;
+}
+
+}  // namespace alsflow

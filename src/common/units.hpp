@@ -1,0 +1,40 @@
+// Units used across alsflow: bytes and (simulated) seconds.
+//
+// Simulated time is a double count of seconds since world start. Data sizes
+// are 64-bit byte counts. Helper literals keep magnitudes readable at call
+// sites (`30 * GiB`, `minutes(20)`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace alsflow {
+
+using Bytes = std::uint64_t;
+using Seconds = double;
+
+inline constexpr Bytes KiB = 1024ull;
+inline constexpr Bytes MiB = 1024ull * KiB;
+inline constexpr Bytes GiB = 1024ull * MiB;
+inline constexpr Bytes TiB = 1024ull * GiB;
+
+// Decimal units (network bandwidth convention: 10 Gbps = 1.25e9 B/s).
+inline constexpr Bytes KB = 1000ull;
+inline constexpr Bytes MB = 1000ull * KB;
+inline constexpr Bytes GB = 1000ull * MB;
+inline constexpr Bytes TB = 1000ull * GB;
+
+constexpr Seconds minutes(double m) { return m * 60.0; }
+constexpr Seconds hours(double h) { return h * 3600.0; }
+constexpr Seconds days(double d) { return d * 86400.0; }
+
+// Bandwidth in bytes/second from a gigabits-per-second figure.
+constexpr double gbps(double g) { return g * 1e9 / 8.0; }
+
+// "29.5 GiB", "312 MiB", "87 B" — chooses the largest binary unit >= 1.
+std::string human_bytes(Bytes b);
+
+// "7.4s", "25m 12s", "3h 05m" — compact human duration.
+std::string human_duration(Seconds s);
+
+}  // namespace alsflow

@@ -1,0 +1,62 @@
+// AH5 — a self-contained binary scientific container standing in for HDF5.
+//
+// The beamline file-writer saves each acquisition as one file holding the
+// projection stack, dark/flat reference fields, and embedded string
+// metadata. AH5 keeps that structure: named float32 datasets of arbitrary
+// rank plus a string attribute table, with a checksummed footer so transfer
+// integrity checks have something real to verify.
+//
+// Layout: magic "AH5\1" | u32 n_attrs | attrs (len-prefixed kv) |
+//         u32 n_datasets | per dataset: name, u32 rank, u64 dims[],
+//         float payload | u64 fnv1a of everything before the footer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace alsflow::data {
+
+struct Ah5Dataset {
+  std::string name;
+  std::vector<std::uint64_t> dims;
+  std::vector<float> values;
+
+  std::uint64_t element_count() const {
+    std::uint64_t n = 1;
+    for (auto d : dims) n *= d;
+    return n;
+  }
+};
+
+class Ah5File {
+ public:
+  void set_attr(const std::string& key, const std::string& value) {
+    attrs_[key] = value;
+  }
+  const std::map<std::string, std::string>& attrs() const { return attrs_; }
+  Result<std::string> attr(const std::string& key) const;
+
+  // Adds or replaces a dataset; dims product must equal values.size().
+  Status add_dataset(Ah5Dataset ds);
+  const Ah5Dataset* dataset(const std::string& name) const;
+  std::vector<std::string> dataset_names() const;
+
+  // Serialized byte size (what lands on disk).
+  std::uint64_t byte_size() const;
+
+  std::vector<std::uint8_t> serialize() const;
+  static Result<Ah5File> deserialize(const std::vector<std::uint8_t>& bytes);
+
+  Status write_file(const std::string& path) const;
+  static Result<Ah5File> read_file(const std::string& path);
+
+ private:
+  std::map<std::string, std::string> attrs_;
+  std::vector<Ah5Dataset> datasets_;
+};
+
+}  // namespace alsflow::data

@@ -1,0 +1,124 @@
+#include "data/multiscale.hpp"
+
+#include <algorithm>
+
+namespace alsflow::data {
+
+tomo::Volume downsample2(const tomo::Volume& vol) {
+  const std::size_t nz = (vol.nz() + 1) / 2;
+  const std::size_t ny = (vol.ny() + 1) / 2;
+  const std::size_t nx = (vol.nx() + 1) / 2;
+  tomo::Volume out(nz, ny, nx);
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        double acc = 0.0;
+        std::size_t count = 0;
+        for (std::size_t dz = 0; dz < 2; ++dz) {
+          const std::size_t sz = 2 * z + dz;
+          if (sz >= vol.nz()) continue;
+          for (std::size_t dy = 0; dy < 2; ++dy) {
+            const std::size_t sy = 2 * y + dy;
+            if (sy >= vol.ny()) continue;
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              const std::size_t sx = 2 * x + dx;
+              if (sx >= vol.nx()) continue;
+              acc += vol.at(sz, sy, sx);
+              ++count;
+            }
+          }
+        }
+        out.at(z, y, x) = float(acc / double(count));
+      }
+    }
+  }
+  return out;
+}
+
+MultiscaleVolume MultiscaleVolume::build(const tomo::Volume& vol,
+                                         std::size_t n_levels,
+                                         std::size_t chunk) {
+  MultiscaleVolume ms;
+  ms.chunk_ = chunk;
+  ms.levels_.push_back(vol);
+  for (std::size_t l = 1; l < n_levels; ++l) {
+    const auto& prev = ms.levels_.back();
+    if (prev.nz() <= 1 && prev.ny() <= 1 && prev.nx() <= 1) break;
+    ms.levels_.push_back(downsample2(prev));
+  }
+  return ms;
+}
+
+ChunkIndex MultiscaleVolume::chunk_grid(std::size_t level) const {
+  const auto& v = levels_.at(level);
+  return ChunkIndex{(v.nz() + chunk_ - 1) / chunk_,
+                    (v.ny() + chunk_ - 1) / chunk_,
+                    (v.nx() + chunk_ - 1) / chunk_};
+}
+
+Result<tomo::Volume> MultiscaleVolume::chunk(std::size_t level,
+                                             ChunkIndex idx) const {
+  if (level >= levels_.size()) return Error::make("not_found", "bad level");
+  const auto grid = chunk_grid(level);
+  if (idx.z >= grid.z || idx.y >= grid.y || idx.x >= grid.x) {
+    return Error::make("not_found", "chunk index out of range");
+  }
+  const auto& v = levels_[level];
+  tomo::Volume out(chunk_, chunk_, chunk_);
+  for (std::size_t z = 0; z < chunk_; ++z) {
+    const std::size_t sz = idx.z * chunk_ + z;
+    if (sz >= v.nz()) break;
+    for (std::size_t y = 0; y < chunk_; ++y) {
+      const std::size_t sy = idx.y * chunk_ + y;
+      if (sy >= v.ny()) break;
+      for (std::size_t x = 0; x < chunk_; ++x) {
+        const std::size_t sx = idx.x * chunk_ + x;
+        if (sx >= v.nx()) break;
+        out.at(z, y, x) = v.at(sz, sy, sx);
+      }
+    }
+  }
+  return out;
+}
+
+Result<tomo::Image> MultiscaleVolume::slice(std::size_t level, int axis,
+                                            std::size_t index) const {
+  if (level >= levels_.size()) return Error::make("not_found", "bad level");
+  const auto& v = levels_[level];
+  switch (axis) {
+    case 0: {
+      if (index >= v.nz()) return Error::make("not_found", "z out of range");
+      return v.slice_image(index);
+    }
+    case 1: {
+      if (index >= v.ny()) return Error::make("not_found", "y out of range");
+      tomo::Image img(v.nz(), v.nx());
+      for (std::size_t z = 0; z < v.nz(); ++z) {
+        for (std::size_t x = 0; x < v.nx(); ++x) {
+          img.at(z, x) = v.at(z, index, x);
+        }
+      }
+      return img;
+    }
+    case 2: {
+      if (index >= v.nx()) return Error::make("not_found", "x out of range");
+      tomo::Image img(v.nz(), v.ny());
+      for (std::size_t z = 0; z < v.nz(); ++z) {
+        for (std::size_t y = 0; y < v.ny(); ++y) {
+          img.at(z, y) = v.at(z, y, index);
+        }
+      }
+      return img;
+    }
+    default:
+      return Error::make("invalid_argument", "axis must be 0, 1 or 2");
+  }
+}
+
+Bytes MultiscaleVolume::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& v : levels_) total += Bytes(v.size()) * 4;
+  return total;
+}
+
+}  // namespace alsflow::data

@@ -1,0 +1,59 @@
+#include "data/scan_meta.hpp"
+
+#include <cstdio>
+
+namespace alsflow::data {
+
+Status ScanMetadata::validate() const {
+  if (scan_id.empty()) return Error::make("invalid_metadata", "missing scan_id");
+  if (n_angles == 0) {
+    return Error::make("invalid_metadata", "n_angles must be positive");
+  }
+  if (rows == 0 || cols == 0) {
+    return Error::make("invalid_metadata", "detector shape must be positive");
+  }
+  if (bit_depth != 8 && bit_depth != 16 && bit_depth != 32) {
+    return Error::make("invalid_metadata", "unsupported bit depth");
+  }
+  if (exposure_s < 0.0 || energy_kev < 0.0) {
+    return Error::make("invalid_metadata", "negative physical parameter");
+  }
+  return Status::success();
+}
+
+std::map<std::string, std::string> ScanMetadata::as_fields() const {
+  auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return std::string(buf);
+  };
+  return {
+      {"scan_id", scan_id},
+      {"sample_name", sample_name},
+      {"proposal", proposal},
+      {"user", user},
+      {"instrument", instrument},
+      {"n_angles", std::to_string(n_angles)},
+      {"rows", std::to_string(rows)},
+      {"cols", std::to_string(cols)},
+      {"bit_depth", std::to_string(bit_depth)},
+      {"exposure_s", num(exposure_s)},
+      {"energy_kev", num(energy_kev)},
+      {"pixel_um", num(pixel_um)},
+  };
+}
+
+Status FrameMetadata::validate(const ScanMetadata& scan) const {
+  if (scan_id != scan.scan_id) {
+    return Error::make("frame_mismatch", "frame scan_id does not match scan");
+  }
+  if (angle_index >= scan.n_angles) {
+    return Error::make("frame_mismatch", "angle index out of range");
+  }
+  if (rows != scan.rows || cols != scan.cols) {
+    return Error::make("frame_mismatch", "frame shape does not match scan");
+  }
+  return Status::success();
+}
+
+}  // namespace alsflow::data

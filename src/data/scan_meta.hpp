@@ -1,0 +1,56 @@
+// Scan and frame metadata — the embedded metadata the beamline file-writer
+// validates and records with every acquisition.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace alsflow::data {
+
+struct ScanMetadata {
+  std::string scan_id;          // unique acquisition id
+  std::string sample_name;
+  std::string proposal;         // beamtime proposal number
+  std::string user;             // visiting user name
+  std::string instrument = "als-8.3.2";
+
+  std::size_t n_angles = 0;     // projections over 180 degrees
+  std::size_t rows = 0;         // detector rows
+  std::size_t cols = 0;         // detector columns
+  std::size_t bit_depth = 16;   // raw pixel depth
+  double exposure_s = 0.0;      // per-frame exposure
+  double energy_kev = 0.0;      // beam energy
+  double pixel_um = 0.0;        // effective pixel size
+
+  Seconds acquired_at = 0.0;    // simulated wall-clock of completion
+
+  // Raw dataset size: projections + dark/flat reference frames.
+  Bytes raw_bytes(std::size_t n_reference_frames = 20) const {
+    return Bytes(n_angles + n_reference_frames) * rows * cols * (bit_depth / 8);
+  }
+
+  // Reconstructed volume: rows slices of cols x cols float32.
+  Bytes recon_bytes() const { return Bytes(rows) * cols * cols * 4; }
+
+  // Validation the file-writer performs per acquisition before writing.
+  Status validate() const;
+
+  std::map<std::string, std::string> as_fields() const;
+};
+
+struct FrameMetadata {
+  std::string scan_id;
+  std::size_t angle_index = 0;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  Seconds timestamp = 0.0;
+
+  // Per-frame validation: consistent shape and in-range angle index.
+  Status validate(const ScanMetadata& scan) const;
+};
+
+}  // namespace alsflow::data

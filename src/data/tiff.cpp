@@ -1,0 +1,160 @@
+#include "data/tiff.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+namespace alsflow::data {
+
+namespace {
+
+// TIFF tag ids used by the baseline float-grayscale layout.
+enum : std::uint16_t {
+  kImageWidth = 256,
+  kImageLength = 257,
+  kBitsPerSample = 258,
+  kCompression = 259,
+  kPhotometric = 262,
+  kStripOffsets = 273,
+  kRowsPerStrip = 278,
+  kStripByteCounts = 279,
+  kSampleFormat = 339,
+};
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(std::uint8_t(v));
+  out.push_back(std::uint8_t(v >> 8));
+}
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void put_tag(std::vector<std::uint8_t>& out, std::uint16_t tag,
+             std::uint16_t type, std::uint32_t count, std::uint32_t value) {
+  put16(out, tag);
+  put16(out, type);  // 3 = SHORT, 4 = LONG
+  put32(out, count);
+  if (type == 3) {
+    put16(out, std::uint16_t(value));
+    put16(out, 0);
+  } else {
+    put32(out, value);
+  }
+}
+
+std::uint16_t get16(const std::vector<std::uint8_t>& b, std::size_t pos) {
+  return std::uint16_t(b[pos] | (b[pos + 1] << 8));
+}
+std::uint32_t get32(const std::vector<std::uint8_t>& b, std::size_t pos) {
+  return std::uint32_t(b[pos]) | (std::uint32_t(b[pos + 1]) << 8) |
+         (std::uint32_t(b[pos + 2]) << 16) | (std::uint32_t(b[pos + 3]) << 24);
+}
+
+}  // namespace
+
+Status write_tiff(const std::string& path, const tomo::Image& img) {
+  const std::uint32_t width = std::uint32_t(img.nx());
+  const std::uint32_t height = std::uint32_t(img.ny());
+  const std::uint32_t data_bytes = width * height * 4;
+
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + data_bytes + 2 + 9 * 12 + 4);
+
+  // Header: little-endian magic, IFD offset after pixel data.
+  out.push_back('I');
+  out.push_back('I');
+  put16(out, 42);
+  const std::uint32_t data_offset = 8;
+  const std::uint32_t ifd_offset = data_offset + data_bytes;
+  put32(out, ifd_offset);
+
+  const auto* pixels = reinterpret_cast<const std::uint8_t*>(img.data());
+  out.insert(out.end(), pixels, pixels + data_bytes);
+
+  put16(out, 9);  // entry count
+  put_tag(out, kImageWidth, 4, 1, width);
+  put_tag(out, kImageLength, 4, 1, height);
+  put_tag(out, kBitsPerSample, 3, 1, 32);
+  put_tag(out, kCompression, 3, 1, 1);     // none
+  put_tag(out, kPhotometric, 3, 1, 1);     // BlackIsZero
+  put_tag(out, kStripOffsets, 4, 1, data_offset);
+  put_tag(out, kRowsPerStrip, 4, 1, height);
+  put_tag(out, kStripByteCounts, 4, 1, data_bytes);
+  put_tag(out, kSampleFormat, 3, 1, 3);    // IEEE float
+  put32(out, 0);                           // next IFD: none
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Error::make("io_error", "cannot open " + path);
+  const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (written != out.size()) return Error::make("io_error", "short write");
+  return Status::success();
+}
+
+Result<tomo::Image> read_tiff(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Error::make("not_found", "cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(size), 0);
+  const std::size_t read = std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (read != buf.size() || buf.size() < 8) {
+    return Error::make("io_error", "short read");
+  }
+  if (buf[0] != 'I' || buf[1] != 'I' || get16(buf, 2) != 42) {
+    return Error::make("bad_format", "not a little-endian TIFF");
+  }
+  const std::uint32_t ifd = get32(buf, 4);
+  if (ifd + 2 > buf.size()) return Error::make("bad_format", "bad IFD offset");
+  const std::uint16_t entries = get16(buf, ifd);
+
+  std::uint32_t width = 0, height = 0, strip_offset = 0, strip_bytes = 0;
+  std::uint16_t bits = 0, sample_format = 1, compression = 1;
+  for (std::uint16_t i = 0; i < entries; ++i) {
+    const std::size_t pos = ifd + 2 + std::size_t(i) * 12;
+    if (pos + 12 > buf.size()) return Error::make("bad_format", "truncated IFD");
+    const std::uint16_t tag = get16(buf, pos);
+    const std::uint16_t type = get16(buf, pos + 2);
+    const std::uint32_t value =
+        type == 3 ? get16(buf, pos + 8) : get32(buf, pos + 8);
+    switch (tag) {
+      case kImageWidth: width = value; break;
+      case kImageLength: height = value; break;
+      case kBitsPerSample: bits = std::uint16_t(value); break;
+      case kCompression: compression = std::uint16_t(value); break;
+      case kStripOffsets: strip_offset = value; break;
+      case kStripByteCounts: strip_bytes = value; break;
+      case kSampleFormat: sample_format = std::uint16_t(value); break;
+      default: break;
+    }
+  }
+  if (compression != 1 || bits != 32 || sample_format != 3) {
+    return Error::make("unsupported", "only uncompressed float32 supported");
+  }
+  if (strip_bytes != width * height * 4 ||
+      strip_offset + strip_bytes > buf.size()) {
+    return Error::make("bad_format", "inconsistent strip layout");
+  }
+  tomo::Image img(height, width);
+  std::memcpy(img.data(), buf.data() + strip_offset, strip_bytes);
+  return img;
+}
+
+Result<std::size_t> write_tiff_stack(const std::string& dir,
+                                     const tomo::Volume& vol) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Error::make("io_error", "cannot create " + dir);
+  for (std::size_t z = 0; z < vol.nz(); ++z) {
+    char name[32];
+    std::snprintf(name, sizeof name, "/slice_%04zu.tif", z);
+    Status s = write_tiff(dir + name, vol.slice_image(z));
+    if (!s.ok()) return s.error();
+  }
+  return vol.nz();
+}
+
+}  // namespace alsflow::data

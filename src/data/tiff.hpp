@@ -1,0 +1,21 @@
+// Minimal real TIFF I/O: single-image, uncompressed, 32-bit float
+// grayscale, little-endian — the format the file-based workflow writes one
+// slice at a time ("a stack of TIFF images"). Readable by ImageJ.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "tomo/image.hpp"
+
+namespace alsflow::data {
+
+Status write_tiff(const std::string& path, const tomo::Image& img);
+Result<tomo::Image> read_tiff(const std::string& path);
+
+// Write every slice of a volume as slice_NNNN.tif under `dir` (created if
+// missing). Returns the number of files written.
+Result<std::size_t> write_tiff_stack(const std::string& dir,
+                                     const tomo::Volume& vol);
+
+}  // namespace alsflow::data

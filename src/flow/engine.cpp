@@ -1,0 +1,151 @@
+#include "flow/engine.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace alsflow::flow {
+
+FlowEngine::FlowEngine(sim::Engine& sim, RunDatabase& db)
+    : sim_(sim), db_(db) {
+  set_pool_limit("default", 8);
+}
+
+void FlowEngine::register_flow(const std::string& name, FlowFn fn,
+                               FlowOptions options) {
+  flows_[name] = Registration{std::move(fn), std::move(options)};
+}
+
+void FlowEngine::set_pool_limit(const std::string& pool, int limit) {
+  pools_[pool] = std::make_unique<sim::Semaphore>(limit);
+}
+
+sim::Semaphore& FlowEngine::pool(const std::string& name) {
+  auto it = pools_.find(name);
+  if (it == pools_.end()) {
+    it = pools_.emplace(name, std::make_unique<sim::Semaphore>(8)).first;
+  }
+  return *it->second;
+}
+
+sim::Future<FlowRunResult> FlowEngine::run_flow_impl(std::string name,
+                                                     std::string parameters) {
+  auto reg_it = flows_.find(name);
+  if (reg_it == flows_.end()) {
+    FlowRunResult result;
+    result.state = RunState::Failed;
+    result.status = Error::make("unknown_flow", name);
+    co_return result;
+  }
+  const Registration& reg = reg_it->second;
+
+  FlowRunResult result;
+  result.run_id = db_.create_run(name, sim_.now(), parameters);
+
+  sim::Semaphore& sem = pool(reg.options.work_pool);
+  co_await sem.acquire();
+  sim::SemaphoreGuard guard(sem);
+
+  db_.mark_running(result.run_id, sim_.now());
+  Status status = Status::success();
+  for (int attempt = 0;; ++attempt) {
+    FlowContext ctx{*this, result.run_id, parameters};
+    status = co_await reg.fn(ctx);
+    if (status.ok() || attempt >= reg.options.max_retries) break;
+    db_.add_retry(result.run_id);
+    db_.mark_retrying(result.run_id, sim_.now());
+    log_warn("prefect") << name << " run " << result.run_id
+                        << " failed (" << status.error().code
+                        << "); retrying";
+    co_await sim::delay(sim_, reg.options.retry_delay);
+    db_.mark_running(result.run_id, sim_.now());
+  }
+
+  result.state = status.ok() ? RunState::Completed : RunState::Failed;
+  result.status = status;
+  db_.mark_finished(result.run_id, result.state, sim_.now(),
+                    status.ok() ? "" : status.error().code);
+  co_return result;
+}
+
+void FlowEngine::submit_flow(const std::string& name, std::string parameters) {
+  [](FlowEngine& self, std::string n, std::string p) -> sim::Proc {
+    (void)co_await self.run_flow(n, std::move(p));
+  }(*this, name, std::move(parameters))
+      .detach();
+}
+
+sim::Future<Status> FlowEngine::run_task_impl(
+    const FlowContext& ctx, std::string task_name,
+    std::function<sim::Future<Status>()> body, TaskOptions options) {
+  if (!options.idempotency_key.empty()) {
+    auto it = idempotency_cache_.find(options.idempotency_key);
+    if (it != idempotency_cache_.end() && it->second.ok()) {
+      TaskRunRecord rec;
+      rec.flow_run_id = ctx.run_id;
+      rec.task_name = task_name;
+      rec.state = RunState::Completed;
+      rec.started_at = rec.finished_at = sim_.now();
+      db_.record_task(rec);
+      co_return Status::success();
+    }
+  }
+
+  TaskRunRecord rec;
+  rec.flow_run_id = ctx.run_id;
+  rec.task_name = task_name;
+  rec.started_at = sim_.now();
+
+  Status status = Status::success();
+  Seconds next_delay = options.retry_delay;
+  for (int attempt = 0;; ++attempt) {
+    ++rec.attempts;
+    status = co_await body();
+    if (status.ok() || attempt >= options.max_retries) break;
+    log_warn("prefect") << task_name << " attempt " << attempt + 1
+                        << " failed (" << status.error().code << ")";
+    co_await sim::delay(sim_, next_delay);
+    next_delay *= options.backoff;
+  }
+
+  rec.finished_at = sim_.now();
+  rec.state = status.ok() ? RunState::Completed : RunState::Failed;
+  rec.error = status.ok() ? "" : status.error().code;
+  db_.record_task(rec);
+  if (!options.idempotency_key.empty()) {
+    idempotency_cache_[options.idempotency_key] = status;
+  }
+  co_return status;
+}
+
+sim::Proc FlowEngine::schedule_loop(std::string name, Seconds interval,
+                                    Seconds initial_delay,
+                                    std::string parameters,
+                                    std::shared_ptr<bool> alive) {
+  co_await sim::delay(sim_, initial_delay);
+  while (*alive) {
+    (void)co_await run_flow(name, parameters);
+    co_await sim::delay(sim_, interval);
+  }
+}
+
+int FlowEngine::schedule_periodic(const std::string& name, Seconds interval,
+                                  Seconds initial_delay,
+                                  std::string parameters) {
+  auto alive = std::make_shared<bool>(true);
+  const int handle = next_schedule_++;
+  schedules_[handle] = alive;
+  schedule_loop(name, interval, initial_delay, std::move(parameters), alive)
+      .detach();
+  return handle;
+}
+
+void FlowEngine::cancel_schedule(int handle) {
+  auto it = schedules_.find(handle);
+  if (it != schedules_.end()) {
+    *it->second = false;
+    schedules_.erase(it);
+  }
+}
+
+}  // namespace alsflow::flow

@@ -1,0 +1,142 @@
+// Workflow orchestration engine (Prefect-server equivalent).
+//
+// Flows are registered by name with retry policy and a work-pool
+// assignment; submitting a flow run queues it on its pool, whose
+// concurrency limit models the paper's tuned worker concurrency (high for
+// scan-detection work, low for HPC submission to avoid queue conflicts).
+// Tasks inside a flow get retry-with-backoff and idempotency-key
+// semantics so a retried flow can safely re-execute completed steps.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "flow/run_db.hpp"
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+#include "sim/task.hpp"
+
+namespace alsflow::flow {
+
+class FlowEngine;
+
+// Handed to every flow invocation.
+struct FlowContext {
+  FlowEngine& engine;
+  std::string run_id;
+  std::string parameters;
+};
+
+using FlowFn = std::function<sim::Future<Status>(FlowContext)>;
+
+struct FlowOptions {
+  int max_retries = 0;             // whole-flow retries on failure
+  Seconds retry_delay = 10.0;
+  std::string work_pool = "default";
+};
+
+struct TaskOptions {
+  int max_retries = 3;
+  Seconds retry_delay = 5.0;
+  double backoff = 2.0;            // delay multiplier per attempt
+  // If set and a previous invocation with this key succeeded, the task is
+  // skipped (idempotent re-execution on flow retry).
+  std::string idempotency_key;
+};
+
+struct FlowRunResult {
+  std::string run_id;
+  RunState state = RunState::Completed;
+  Status status = Status::success();
+};
+
+class FlowEngine {
+ public:
+  FlowEngine(sim::Engine& sim, RunDatabase& db);
+
+  sim::Engine& sim() { return sim_; }
+  RunDatabase& db() { return db_; }
+
+  void register_flow(const std::string& name, FlowFn fn,
+                     FlowOptions options = {});
+
+  // Set (or resize) a work pool's concurrency limit.
+  void set_pool_limit(const std::string& pool, int limit);
+
+  // Submit a run; resolves when the run reaches a terminal state.
+  //
+  // NOTE on the wrapper style used for every public coroutine in alsflow:
+  // GCC 12 miscompiles *prvalue* class-type arguments to coroutine calls
+  // (the frame copy is elided but the caller temporary is still
+  // destroyed -> double free). Public entry points are therefore plain
+  // functions that take arguments by value and forward them as xvalues to
+  // a private coroutine, which is always safe.
+  sim::Future<FlowRunResult> run_flow(std::string name,
+                                      std::string parameters = "") {
+    return run_flow_impl(std::move(name), std::move(parameters));
+  }
+
+  // Fire-and-forget submission (acquisition callbacks use this).
+  void submit_flow(const std::string& name, std::string parameters = "");
+
+  // Run `body` as a tracked task of the current flow run with retry +
+  // idempotency semantics. Returns the final status.
+  //
+  // Coroutine-parameter rules: everything is taken by value (copied into
+  // the frame) except ctx, which must outlive the call — flows pass their
+  // own context and co_await the result directly. No class-type default
+  // arguments on coroutines (GCC 12 mis-destroys the temporary), hence the
+  // explicit overload.
+  sim::Future<Status> run_task(const FlowContext& ctx, std::string task_name,
+                               std::function<sim::Future<Status>()> body,
+                               TaskOptions options) {
+    return run_task_impl(ctx, std::move(task_name), std::move(body),
+                         std::move(options));
+  }
+  sim::Future<Status> run_task(const FlowContext& ctx, std::string task_name,
+                               std::function<sim::Future<Status>()> body) {
+    return run_task_impl(ctx, std::move(task_name), std::move(body),
+                         TaskOptions{});
+  }
+
+  // Periodic schedule (pruning flows): run `name` every `interval`,
+  // starting after `initial_delay`. Returns a handle for cancellation.
+  int schedule_periodic(const std::string& name, Seconds interval,
+                        Seconds initial_delay = 0.0,
+                        std::string parameters = "");
+  void cancel_schedule(int handle);
+
+  std::size_t registered_flows() const { return flows_.size(); }
+
+ private:
+  struct Registration {
+    FlowFn fn;
+    FlowOptions options;
+  };
+
+  sim::Future<FlowRunResult> run_flow_impl(std::string name,
+                                           std::string parameters);
+  sim::Future<Status> run_task_impl(const FlowContext& ctx,
+                                    std::string task_name,
+                                    std::function<sim::Future<Status>()> body,
+                                    TaskOptions options);
+
+  sim::Semaphore& pool(const std::string& name);
+  sim::Proc schedule_loop(std::string name, Seconds interval,
+                          Seconds initial_delay, std::string parameters,
+                          std::shared_ptr<bool> alive);
+
+  sim::Engine& sim_;
+  RunDatabase& db_;
+  std::map<std::string, Registration> flows_;
+  std::map<std::string, std::unique_ptr<sim::Semaphore>> pools_;
+  std::map<std::string, Status> idempotency_cache_;
+  std::map<int, std::shared_ptr<bool>> schedules_;
+  int next_schedule_ = 1;
+};
+
+}  // namespace alsflow::flow

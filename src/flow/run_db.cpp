@@ -1,0 +1,126 @@
+#include "flow/run_db.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace alsflow::flow {
+
+const char* run_state_name(RunState s) {
+  switch (s) {
+    case RunState::Scheduled: return "SCHEDULED";
+    case RunState::Running: return "RUNNING";
+    case RunState::Retrying: return "RETRYING";
+    case RunState::Completed: return "COMPLETED";
+    case RunState::Failed: return "FAILED";
+    case RunState::Cancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+bool is_terminal(RunState s) {
+  return s == RunState::Completed || s == RunState::Failed ||
+         s == RunState::Cancelled;
+}
+
+std::string RunDatabase::create_run(const std::string& flow_name, Seconds now,
+                                    std::string parameters) {
+  char id[48];
+  std::snprintf(id, sizeof id, "run-%06llu",
+                static_cast<unsigned long long>(next_id_++));
+  FlowRunRecord rec;
+  rec.id = id;
+  rec.flow_name = flow_name;
+  rec.created_at = now;
+  rec.parameters = std::move(parameters);
+  runs_.emplace(rec.id, rec);
+  order_.push_back(rec.id);
+  return id;
+}
+
+void RunDatabase::mark_running(const std::string& run_id, Seconds now) {
+  auto& rec = runs_.at(run_id);
+  rec.state = RunState::Running;
+  if (rec.started_at < 0.0) rec.started_at = now;
+}
+
+void RunDatabase::mark_retrying(const std::string& run_id, Seconds /*now*/) {
+  runs_.at(run_id).state = RunState::Retrying;
+}
+
+void RunDatabase::mark_finished(const std::string& run_id,
+                                RunState final_state, Seconds now,
+                                const std::string& error) {
+  assert(is_terminal(final_state));
+  auto& rec = runs_.at(run_id);
+  rec.state = final_state;
+  rec.finished_at = now;
+  rec.error = error;
+}
+
+void RunDatabase::add_retry(const std::string& run_id) {
+  ++runs_.at(run_id).retries;
+}
+
+const FlowRunRecord* RunDatabase::run(const std::string& run_id) const {
+  auto it = runs_.find(run_id);
+  return it == runs_.end() ? nullptr : &it->second;
+}
+
+std::vector<FlowRunRecord> RunDatabase::runs(
+    const std::string& flow_name) const {
+  std::vector<FlowRunRecord> out;
+  for (const auto& id : order_) {
+    const auto& rec = runs_.at(id);
+    if (flow_name.empty() || rec.flow_name == flow_name) out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<FlowRunRecord> RunDatabase::runs_in_state(
+    const std::string& flow_name, RunState state) const {
+  std::vector<FlowRunRecord> out;
+  for (const auto& rec : runs(flow_name)) {
+    if (rec.state == state) out.push_back(rec);
+  }
+  return out;
+}
+
+Summary RunDatabase::duration_summary(const std::string& flow_name,
+                                      std::size_t last_n,
+                                      RunState state) const {
+  auto matching = runs_in_state(flow_name, state);
+  std::vector<double> durations;
+  const std::size_t start =
+      matching.size() > last_n ? matching.size() - last_n : 0;
+  for (std::size_t i = start; i < matching.size(); ++i) {
+    durations.push_back(matching[i].duration());
+  }
+  return summarize(std::move(durations));
+}
+
+double RunDatabase::success_rate(const std::string& flow_name) const {
+  std::size_t terminal = 0, completed = 0;
+  for (const auto& rec : runs(flow_name)) {
+    if (is_terminal(rec.state)) {
+      ++terminal;
+      if (rec.state == RunState::Completed) ++completed;
+    }
+  }
+  return terminal == 0 ? 1.0 : double(completed) / double(terminal);
+}
+
+void RunDatabase::record_task(TaskRunRecord rec) {
+  task_runs_.push_back(std::move(rec));
+}
+
+std::vector<TaskRunRecord> RunDatabase::tasks(
+    const std::string& flow_run_id) const {
+  std::vector<TaskRunRecord> out;
+  for (const auto& t : task_runs_) {
+    if (t.flow_run_id == flow_run_id) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace alsflow::flow

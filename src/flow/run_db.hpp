@@ -1,0 +1,89 @@
+// Flow/task run database — the queryable state store behind the
+// orchestration UI.
+//
+// Every flow run and task attempt is recorded with timestamps and terminal
+// state. The paper's Table 2 is produced by querying the Prefect server API
+// for the last 100 successful runs of each flow and aggregating completion
+// times; duration_summary() is that exact query against our store.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace alsflow::flow {
+
+enum class RunState { Scheduled, Running, Retrying, Completed, Failed, Cancelled };
+const char* run_state_name(RunState s);
+bool is_terminal(RunState s);
+
+struct FlowRunRecord {
+  std::string id;
+  std::string flow_name;
+  RunState state = RunState::Scheduled;
+  Seconds created_at = 0.0;
+  Seconds started_at = -1.0;
+  Seconds finished_at = -1.0;
+  int retries = 0;
+  std::string error;           // code of the final error, if failed
+  std::string parameters;      // free-form (scan id etc.)
+
+  // Completion time as the production metric reports it: scheduled ->
+  // finished.
+  Seconds duration() const {
+    return finished_at >= 0.0 ? finished_at - created_at : -1.0;
+  }
+};
+
+struct TaskRunRecord {
+  std::string flow_run_id;
+  std::string task_name;
+  RunState state = RunState::Scheduled;
+  int attempts = 0;
+  Seconds started_at = -1.0;
+  Seconds finished_at = -1.0;
+  std::string error;
+};
+
+class RunDatabase {
+ public:
+  // Flow runs -----------------------------------------------------------
+  std::string create_run(const std::string& flow_name, Seconds now,
+                         std::string parameters = "");
+  void mark_running(const std::string& run_id, Seconds now);
+  void mark_retrying(const std::string& run_id, Seconds now);
+  void mark_finished(const std::string& run_id, RunState final_state,
+                     Seconds now, const std::string& error = "");
+  void add_retry(const std::string& run_id);
+
+  const FlowRunRecord* run(const std::string& run_id) const;
+
+  // All runs of a flow (in creation order); empty name matches all flows.
+  std::vector<FlowRunRecord> runs(const std::string& flow_name = "") const;
+  std::vector<FlowRunRecord> runs_in_state(const std::string& flow_name,
+                                           RunState state) const;
+
+  // The Table 2 query: durations of the most recent `last_n` runs of
+  // `flow_name` in `state` (default Completed).
+  Summary duration_summary(const std::string& flow_name, std::size_t last_n,
+                           RunState state = RunState::Completed) const;
+
+  double success_rate(const std::string& flow_name) const;
+
+  // Task runs ------------------------------------------------------------
+  void record_task(TaskRunRecord rec);
+  std::vector<TaskRunRecord> tasks(const std::string& flow_run_id) const;
+
+  std::size_t total_runs() const { return order_.size(); }
+
+ private:
+  std::map<std::string, FlowRunRecord> runs_;
+  std::vector<std::string> order_;  // creation order
+  std::vector<TaskRunRecord> task_runs_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace alsflow::flow

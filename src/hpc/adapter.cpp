@@ -1,0 +1,72 @@
+#include "hpc/adapter.hpp"
+
+#include <algorithm>
+
+namespace alsflow::hpc {
+
+sim::Future<ReconJobOutcome> NerscSlurmAdapter::run_impl(ReconJob job) {
+  ReconJobOutcome outcome;
+  outcome.facility = facility();
+  outcome.submitted_at = eng_.now();
+
+  const Seconds compute = model_.recon_seconds(
+      Device::CpuNode128, job.algorithm, job.nz, job.n, job.n_iterations);
+  const Seconds duration =
+      tuning_.container_startup + job.staging_seconds + compute;
+
+  JobSpec spec;
+  spec.name = job.name;
+  spec.qos = tuning_.qos;
+  spec.nodes = 1;  // exclusive full CPU node
+  spec.duration = duration;
+  spec.walltime_limit =
+      std::max(tuning_.min_walltime, duration * tuning_.walltime_margin);
+
+  auto submitted = co_await sfapi_.submit_job(std::move(spec));
+  if (!submitted.ok()) {
+    outcome.status = submitted.error();
+    outcome.finished_at = eng_.now();
+    co_return outcome;
+  }
+  JobInfo info = co_await sfapi_.wait_job(submitted.value());
+  outcome.started_at = info.started_at;
+  outcome.finished_at = info.finished_at;
+  if (info.state != JobState::Completed) {
+    outcome.status = Error::make("job_failed", job_state_name(info.state));
+  }
+  co_return outcome;
+}
+
+sim::Future<ReconJobOutcome> AlcfGlobusComputeAdapter::run_impl(ReconJob job) {
+  ReconJobOutcome outcome;
+  outcome.facility = facility();
+  outcome.submitted_at = eng_.now();
+
+  FunctionTask task;
+  task.name = job.name;
+  task.duration = job.staging_seconds +
+                  model_.recon_seconds(Device::CpuNode128, job.algorithm,
+                                       job.nz, job.n, job.n_iterations) /
+                      model_.alcf_speedup;
+  FunctionResult result = co_await endpoint_.run(std::move(task));
+  outcome.started_at = result.started_at;
+  outcome.finished_at = result.finished_at;
+  co_return outcome;
+}
+
+sim::Future<ReconJobOutcome> WorkstationAdapter::run_impl(ReconJob job) {
+  ReconJobOutcome outcome;
+  outcome.facility = facility();
+  outcome.submitted_at = eng_.now();
+  co_await slot_.acquire();
+  outcome.started_at = eng_.now();
+  co_await sim::delay(
+      eng_, job.staging_seconds +
+                model_.recon_seconds(Device::Workstation, job.algorithm,
+                                     job.nz, job.n, job.n_iterations));
+  outcome.finished_at = eng_.now();
+  slot_.release();
+  co_return outcome;
+}
+
+}  // namespace alsflow::hpc

@@ -1,0 +1,122 @@
+// Compute abstraction layer (Section 4.2.4).
+//
+// Flows describe *what* to reconstruct; facility adapters own *how*: NERSC
+// runs Slurm jobs through SFAPI (realtime QOS, exclusive CPU node, podman
+// container startup), ALCF executes functions through a Globus Compute
+// pilot endpoint, and the Workstation adapter reproduces the historical
+// local-processing baseline. Identical analysis code, facility-specific
+// submission — the paper's core portability claim.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "hpc/compute_model.hpp"
+#include "hpc/globus_compute.hpp"
+#include "hpc/sfapi.hpp"
+#include "sim/resources.hpp"
+#include "sim/task.hpp"
+
+namespace alsflow::hpc {
+
+struct ReconJob {
+  std::string name;
+  std::size_t nz = 0;  // output slices
+  std::size_t n = 0;   // slice edge
+  tomo::Algorithm algorithm = tomo::Algorithm::Gridrec;
+  int n_iterations = 30;
+  // Extra in-job time (e.g. the CFS -> pscratch staging copy at NERSC).
+  Seconds staging_seconds = 0.0;
+};
+
+struct ReconJobOutcome {
+  Status status = Status::success();
+  std::string facility;
+  Seconds submitted_at = 0.0;
+  Seconds started_at = 0.0;
+  Seconds finished_at = 0.0;
+
+  Seconds queue_wait() const { return started_at - submitted_at; }
+  Seconds total() const { return finished_at - submitted_at; }
+};
+
+class ComputeAdapter {
+ public:
+  virtual ~ComputeAdapter() = default;
+  // Wrapper over the per-facility coroutine impl (see flow/engine.hpp on
+  // GCC 12 and prvalue coroutine arguments).
+  sim::Future<ReconJobOutcome> run(ReconJob job) {
+    return run_impl(std::move(job));
+  }
+  virtual std::string facility() const = 0;
+
+ protected:
+  virtual sim::Future<ReconJobOutcome> run_impl(ReconJob job) = 0;
+};
+
+struct NerscAdapterTuning {
+  Qos qos = Qos::Realtime;
+  Seconds container_startup = 20.0;   // podman-hpc image spin-up
+  Seconds min_walltime = minutes(15); // paper: >= 15-minute window
+  double walltime_margin = 2.0;       // request margin x estimate
+};
+
+// NERSC: SFAPI -> Slurm, realtime QOS, exclusive 128-core CPU node.
+class NerscSlurmAdapter : public ComputeAdapter {
+ public:
+  using Tuning = NerscAdapterTuning;
+
+  NerscSlurmAdapter(sim::Engine& eng, SfApiClient& sfapi, ComputeModel model,
+                    Tuning tuning = {})
+      : eng_(eng), sfapi_(sfapi), model_(model), tuning_(tuning) {}
+
+  std::string facility() const override { return "nersc"; }
+
+ protected:
+  sim::Future<ReconJobOutcome> run_impl(ReconJob job) override;
+
+ private:
+  sim::Engine& eng_;
+  SfApiClient& sfapi_;
+  ComputeModel model_;
+  Tuning tuning_;
+};
+
+// ALCF: Globus Compute pilot endpoint on Polaris (demand queue).
+class AlcfGlobusComputeAdapter : public ComputeAdapter {
+ public:
+  AlcfGlobusComputeAdapter(sim::Engine& eng, GlobusComputeEndpoint& endpoint,
+                           ComputeModel model)
+      : eng_(eng), endpoint_(endpoint), model_(model) {}
+
+  std::string facility() const override { return "alcf"; }
+
+ protected:
+  sim::Future<ReconJobOutcome> run_impl(ReconJob job) override;
+
+ private:
+  sim::Engine& eng_;
+  GlobusComputeEndpoint& endpoint_;
+  ComputeModel model_;
+};
+
+// Historical baseline: one shared beamline workstation, strictly serial.
+class WorkstationAdapter : public ComputeAdapter {
+ public:
+  explicit WorkstationAdapter(sim::Engine& eng, ComputeModel model)
+      : eng_(eng), model_(model), slot_(1) {}
+
+  std::string facility() const override { return "workstation"; }
+
+ protected:
+  sim::Future<ReconJobOutcome> run_impl(ReconJob job) override;
+
+ private:
+  sim::Engine& eng_;
+  ComputeModel model_;
+  sim::Semaphore slot_;
+};
+
+}  // namespace alsflow::hpc

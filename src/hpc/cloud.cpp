@@ -1,0 +1,28 @@
+#include "hpc/cloud.hpp"
+
+namespace alsflow::hpc {
+
+sim::Future<ReconJobOutcome> CloudBurstAdapter::run_impl(ReconJob job) {
+  ReconJobOutcome outcome;
+  outcome.facility = facility();
+  outcome.submitted_at = eng_.now();
+
+  ++instances_;
+  co_await sim::delay(eng_, tuning_.boot_latency);
+  outcome.started_at = eng_.now();
+
+  const Seconds compute =
+      job.staging_seconds +
+      model_.recon_seconds(Device::CpuNode128, job.algorithm, job.nz, job.n,
+                           job.n_iterations) /
+          tuning_.instance_speedup;
+  co_await sim::delay(eng_, compute);
+  outcome.finished_at = eng_.now();
+
+  // Billed from boot to teardown.
+  dollars_ += (outcome.finished_at - outcome.submitted_at) / 3600.0 *
+              tuning_.dollars_per_hour;
+  co_return outcome;
+}
+
+}  // namespace alsflow::hpc

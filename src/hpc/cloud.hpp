@@ -1,0 +1,53 @@
+// Commercial-cloud burst adapter (paper Section 6, "Expanded Compute
+// Resources": AWS/Google integration for additional capacity).
+//
+// Model: per-job on-demand instances. Every reconstruction boots a fresh
+// VM (no queue — capacity is elastic), pays a provisioning latency and a
+// per-second price, and releases the instance afterwards. The trade-off
+// against the DOE facilities is boot latency + dollars instead of queue
+// wait + allocation hours; cost accounting makes the "economic-policy
+// challenge" the paper predicts measurable.
+#pragma once
+
+#include <cstddef>
+
+#include "hpc/adapter.hpp"
+
+namespace alsflow::hpc {
+
+struct CloudTuning {
+  Seconds boot_latency = 120.0;     // image pull + instance start
+  double instance_speedup = 0.75;   // vs the Perlmutter CPU node
+  double dollars_per_hour = 4.9;    // on-demand compute-optimized rate
+  double dollars_per_gb_egress = 0.09;
+};
+
+class CloudBurstAdapter : public ComputeAdapter {
+ public:
+  CloudBurstAdapter(sim::Engine& eng, ComputeModel model,
+                    CloudTuning tuning = {})
+      : eng_(eng), model_(model), tuning_(tuning) {}
+
+  std::string facility() const override { return "cloud"; }
+
+  std::size_t instances_launched() const { return instances_; }
+  double dollars_spent() const { return dollars_; }
+
+  // Egress cost of returning `bytes` of products (charged by run()
+  // callers that move data out; exposed for the economics report).
+  double egress_cost(Bytes bytes) const {
+    return double(bytes) / 1e9 * tuning_.dollars_per_gb_egress;
+  }
+
+ protected:
+  sim::Future<ReconJobOutcome> run_impl(ReconJob job) override;
+
+ private:
+  sim::Engine& eng_;
+  ComputeModel model_;
+  CloudTuning tuning_;
+  std::size_t instances_ = 0;
+  double dollars_ = 0.0;
+};
+
+}  // namespace alsflow::hpc

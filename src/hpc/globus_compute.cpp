@@ -1,0 +1,87 @@
+#include "hpc/globus_compute.hpp"
+
+#include <cassert>
+
+namespace alsflow::hpc {
+
+GlobusComputeEndpoint::GlobusComputeEndpoint(sim::Engine& eng,
+                                             std::string name, int n_workers,
+                                             Tuning tuning)
+    : eng_(eng), name_(std::move(name)), tuning_(tuning), workers_(n_workers) {
+  assert(n_workers > 0);
+}
+
+int GlobusComputeEndpoint::find_idle_worker() const {
+  // Prefer a warm idle worker; otherwise any idle (cold) one.
+  int cold_candidate = -1;
+  for (int i = 0; i < int(workers_.size()); ++i) {
+    if (workers_[i].busy) continue;
+    if (eng_.now() <= workers_[i].warm_until) return i;
+    if (cold_candidate < 0) cold_candidate = i;
+  }
+  return cold_candidate;
+}
+
+sim::Future<FunctionResult> GlobusComputeEndpoint::run_impl(FunctionTask task) {
+  Queued q;
+  q.task = std::move(task);
+  auto done = q.done;
+  const Seconds submitted_at = eng_.now();
+  const int idle = find_idle_worker();
+  if (idle >= 0) {
+    execute(idle, std::move(q.task), done, submitted_at).detach();
+  } else {
+    queue_.push_back(std::move(q));
+    queued_times_.push_back(submitted_at);
+  }
+  co_return co_await done;
+}
+
+void GlobusComputeEndpoint::pump() {
+  while (!queue_.empty()) {
+    const int idle = find_idle_worker();
+    if (idle < 0) return;
+    Queued q = std::move(queue_.front());
+    queue_.pop_front();
+    const Seconds submitted_at = queued_times_.front();
+    queued_times_.pop_front();
+    execute(idle, std::move(q.task), q.done, submitted_at).detach();
+  }
+}
+
+sim::Proc GlobusComputeEndpoint::execute(int worker_index, FunctionTask task,
+                                         sim::Event<FunctionResult> done,
+                                         Seconds submitted_at) {
+  Worker& w = workers_[std::size_t(worker_index)];
+  assert(!w.busy);
+  w.busy = true;
+
+  FunctionResult result;
+  result.name = task.name;
+  result.submitted_at = submitted_at;
+
+  co_await sim::delay(eng_, tuning_.dispatch_latency);
+  if (eng_.now() > w.warm_until) {
+    result.cold_started = true;
+    co_await sim::delay(eng_, tuning_.cold_start);
+  }
+  result.started_at = eng_.now();
+  co_await sim::delay(eng_, task.duration);
+  result.finished_at = eng_.now();
+
+  w.busy = false;
+  w.warm_until = eng_.now() + tuning_.idle_shutdown;
+  history_.push_back(result);
+  done.trigger(result);
+  pump();
+}
+
+int GlobusComputeEndpoint::warm_workers() const {
+  int warm = 0;
+  for (const auto& w : workers_) {
+    if (w.busy || eng_.now() <= w.warm_until) ++warm;
+  }
+  return warm;
+}
+
+}  // namespace alsflow::hpc

@@ -1,0 +1,98 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace alsflow::net {
+
+Link::Link(sim::Engine& eng, std::string name, double bandwidth_bps,
+           Seconds latency)
+    : eng_(eng),
+      name_(std::move(name)),
+      bandwidth_(bandwidth_bps),
+      latency_(latency),
+      last_update_(eng.now()),
+      created_at_(eng.now()) {
+  assert(bandwidth_ > 0.0);
+}
+
+void Link::update_progress() {
+  const Seconds now = eng_.now();
+  const Seconds dt = now - last_update_;
+  last_update_ = now;
+  if (active_.empty() || dt <= 0.0) return;
+  const double rate_each = bandwidth_ / double(active_.size());
+  for (auto& t : active_) {
+    t.remaining = std::max(0.0, t.remaining - rate_each * dt);
+  }
+}
+
+void Link::reschedule() {
+  if (pending_event_ != 0) {
+    eng_.cancel(pending_event_);
+    pending_event_ = 0;
+  }
+  if (active_.empty()) return;
+  double min_remaining = std::numeric_limits<double>::max();
+  for (const auto& t : active_) {
+    min_remaining = std::min(min_remaining, t.remaining);
+  }
+  const double rate_each = bandwidth_ / double(active_.size());
+  const Seconds eta = min_remaining / rate_each;
+  pending_event_ = eng_.schedule_in(eta, [this] {
+    pending_event_ = 0;
+    on_completion_event();
+  });
+}
+
+void Link::on_completion_event() {
+  update_progress();
+  // Pop every transfer that has drained (float tolerance: sub-byte).
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->remaining <= 0.5) {
+      auto done = it->done;
+      it = active_.erase(it);
+      // Deliver after propagation latency.
+      if (latency_ > 0.0) {
+        eng_.schedule_in(latency_, [done]() mutable { done.trigger(); });
+      } else {
+        done.trigger();
+      }
+    } else {
+      ++it;
+    }
+  }
+  reschedule();
+}
+
+sim::Future<sim::Unit> Link::send(Bytes bytes) {
+  update_progress();
+  total_bytes_ += bytes;
+  Transfer t;
+  t.remaining = double(bytes);
+  active_.push_back(t);
+  auto done = active_.back().done;
+  if (bytes == 0) {
+    active_.pop_back();
+    if (latency_ > 0.0) {
+      eng_.schedule_in(latency_, [done]() mutable { done.trigger(); });
+    } else {
+      // Resolve asynchronously so callers can always co_await first.
+      eng_.schedule_in(0.0, [done]() mutable { done.trigger(); });
+    }
+  } else {
+    reschedule();
+  }
+  return [](sim::Event<sim::Unit> ev) -> sim::Future<sim::Unit> {
+    co_await ev;
+    co_return sim::Unit{};
+  }(done);
+}
+
+double Link::mean_throughput() const {
+  const Seconds elapsed = eng_.now() - created_at_;
+  return elapsed > 0.0 ? double(total_bytes_) / elapsed : 0.0;
+}
+
+}  // namespace alsflow::net

@@ -1,0 +1,64 @@
+// Network link with fair bandwidth sharing.
+//
+// Models a pipe (beamline NIC, ESnet path, node-local copy) with a fixed
+// propagation latency and a capacity shared among concurrent transfers via
+// processor sharing: n active transfers each progress at rate/n, recomputed
+// on every arrival and departure — the standard fluid model for TCP-fair
+// bulk flows, matching how concurrent Globus transfers behave on a shared
+// path.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace alsflow::net {
+
+class Link {
+ public:
+  // bandwidth in bytes/second (see alsflow::gbps), latency per message.
+  Link(sim::Engine& eng, std::string name, double bandwidth_bps,
+       Seconds latency = 0.0);
+
+  const std::string& name() const { return name_; }
+  double bandwidth() const { return bandwidth_; }
+  Seconds latency() const { return latency_; }
+
+  // Move `bytes` across the link; resolves when the last byte (plus
+  // propagation latency) has arrived. Zero-byte sends incur latency only.
+  sim::Future<sim::Unit> send(Bytes bytes);
+
+  std::size_t active_transfers() const { return active_.size(); }
+  Bytes total_bytes_sent() const { return total_bytes_; }
+
+  // Mean achieved throughput since construction (bytes/s of simulated
+  // time); the Grafana-style bandwidth monitoring number.
+  double mean_throughput() const;
+
+ private:
+  struct Transfer {
+    double remaining;  // bytes still to move
+    sim::Event<sim::Unit> done;
+  };
+
+  // Advance all active transfers to now and reschedule the next completion.
+  void update_progress();
+  void reschedule();
+  void on_completion_event();
+
+  sim::Engine& eng_;
+  std::string name_;
+  double bandwidth_;
+  Seconds latency_;
+  std::list<Transfer> active_;
+  Seconds last_update_ = 0.0;
+  sim::EventId pending_event_ = 0;
+  Bytes total_bytes_ = 0;
+  Seconds created_at_ = 0.0;
+};
+
+}  // namespace alsflow::net

@@ -1,0 +1,149 @@
+// PVA-style publish/subscribe channel and the mirror server.
+//
+// The detector IOC publishes frames on a Channel; the beamline's
+// PvMirrorServer subscribes and republishes on its own channel so multiple
+// consumers (file-writer, NERSC streaming service) receive every frame
+// without loading the IOC. Delivery to each subscriber is optionally
+// delayed through a Link (the ESnet hop for the remote streaming service).
+//
+// Subscriber semantics mirror PVA monitors: per-subscriber FIFO queue with
+// a bounded depth; when the queue overruns, the oldest message is dropped
+// and a counter increments (slow-consumer overrun, visible in tests).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+
+namespace alsflow::net {
+
+template <typename T>
+class Channel;
+
+// A subscription handle: an awaitable queue of messages.
+template <typename T>
+class Subscription {
+ public:
+  explicit Subscription(std::size_t max_depth) : max_depth_(max_depth) {}
+
+  sim::Queue<T>& queue() { return queue_; }
+  std::size_t overruns() const { return overruns_; }
+
+  void deliver(T msg) {
+    if (max_depth_ > 0 && queue_.size() >= max_depth_) {
+      (void)queue_.try_pop();  // drop oldest
+      ++overruns_;
+    }
+    queue_.push(std::move(msg));
+  }
+
+ private:
+  sim::Queue<T> queue_;
+  std::size_t max_depth_;
+  std::size_t overruns_ = 0;
+};
+
+template <typename T>
+class Channel {
+ public:
+  Channel(sim::Engine& eng, std::string name) : eng_(eng), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Subscribe with an optional delivery link (bandwidth/latency between
+  // publisher and this subscriber) and per-message payload size.
+  std::shared_ptr<Subscription<T>> subscribe(Link* link = nullptr,
+                                             Bytes message_bytes = 0,
+                                             std::size_t max_depth = 0) {
+    auto sub = std::make_shared<Subscription<T>>(max_depth);
+    Bytes fixed = message_bytes;
+    subs_.push_back(Entry{sub, link, [fixed](const T&) { return fixed; }});
+    return sub;
+  }
+
+  // Subscribe with a per-message size function (variable-size payloads,
+  // e.g. frame batches).
+  std::shared_ptr<Subscription<T>> subscribe_sized(
+      Link* link, std::function<Bytes(const T&)> size_fn,
+      std::size_t max_depth = 0) {
+    auto sub = std::make_shared<Subscription<T>>(max_depth);
+    subs_.push_back(Entry{sub, link, std::move(size_fn)});
+    return sub;
+  }
+
+  void publish(T msg) {
+    ++published_;
+    for (auto& entry : subs_) {
+      if (entry.link != nullptr) {
+        deliver_via_link(entry, msg);
+      } else {
+        entry.sub->deliver(msg);
+      }
+    }
+  }
+
+  std::size_t published() const { return published_; }
+  std::size_t subscriber_count() const { return subs_.size(); }
+
+ private:
+  struct Entry {
+    std::shared_ptr<Subscription<T>> sub;
+    Link* link;
+    std::function<Bytes(const T&)> size_fn;
+  };
+
+  void deliver_via_link(Entry& entry, T msg) {
+    const Bytes bytes = entry.size_fn ? entry.size_fn(msg) : 0;
+    // Fire-and-forget coroutine: traverse the link, then deliver.
+    [](Link& link, Bytes b, std::shared_ptr<Subscription<T>> sub,
+       T m) -> sim::Proc {
+      co_await link.send(b);
+      sub->deliver(std::move(m));
+    }(*entry.link, bytes, entry.sub, std::move(msg))
+        .detach();
+  }
+
+  sim::Engine& eng_;
+  std::string name_;
+  std::vector<Entry> subs_;
+  std::size_t published_ = 0;
+};
+
+// Republishes everything from an upstream channel onto its own channel.
+// The mirror is itself a subscriber, so downstream consumers never touch
+// the IOC channel directly (Section 4.2.1).
+template <typename T>
+class MirrorServer {
+ public:
+  MirrorServer(sim::Engine& eng, Channel<T>& upstream, std::string name)
+      : out_(eng, std::move(name)),
+        in_(upstream.subscribe()) {
+    pump(eng).detach();
+  }
+
+  Channel<T>& channel() { return out_; }
+  std::size_t forwarded() const { return forwarded_; }
+
+ private:
+  sim::Proc pump(sim::Engine& eng) {
+    (void)eng;
+    for (;;) {
+      T msg = co_await in_->queue().pop();
+      ++forwarded_;
+      out_.publish(std::move(msg));
+    }
+  }
+
+  Channel<T> out_;
+  std::shared_ptr<Subscription<T>> in_;
+  std::size_t forwarded_ = 0;
+};
+
+}  // namespace alsflow::net

@@ -1,0 +1,128 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace alsflow::parallel {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in parallel_for, so spawn one fewer.
+  for (std::size_t i = 1; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = queue_.back();
+      queue_.pop_back();
+    }
+    (*task.body)(task.chunk_begin, task.chunk_end);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunks(
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t begin, std::size_t end) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t threads = size();
+  // ~4 chunks per thread balances load without queue churn.
+  const std::size_t chunks = std::min(n, std::max<std::size_t>(1, threads * 4));
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+
+  if (threads == 1 || chunks == 1) {
+    body(begin, end);
+    return;
+  }
+
+  std::size_t enqueued = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Enqueue all chunks except the first, which the caller runs itself.
+    for (std::size_t c = 1; c < chunks; ++c) {
+      std::size_t b = begin + c * chunk_size;
+      if (b >= end) break;
+      std::size_t e = std::min(end, b + chunk_size);
+      queue_.push_back(Task{&body, b, e});
+      ++enqueued;
+    }
+    in_flight_ += enqueued;
+  }
+  cv_work_.notify_all();
+
+  body(begin, std::min(end, begin + chunk_size));
+
+  // Help drain the queue while waiting (work-sharing, no idle caller).
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (queue_.empty()) break;
+      task = queue_.back();
+      queue_.pop_back();
+    }
+    (*task.body)(task.chunk_begin, task.chunk_end);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  run_chunks(body, begin, end);
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  std::function<void(std::size_t, std::size_t)> chunk_body =
+      [&body](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) body(i);
+      };
+  run_chunks(chunk_body, begin, end);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  ThreadPool::global().parallel_for(begin, end, body);
+}
+
+void parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  ThreadPool::global().parallel_for_chunks(begin, end, body);
+}
+
+}  // namespace alsflow::parallel

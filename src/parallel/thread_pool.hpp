@@ -1,0 +1,72 @@
+// Work-sharing thread pool for compute kernels.
+//
+// The reconstruction library executes real floating-point work; this pool
+// provides OpenMP-style `parallel_for` over index ranges with static
+// chunking. One process-wide default pool (hardware_concurrency threads)
+// serves the tomo kernels; tests construct private pools to exercise
+// specific thread counts.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace alsflow::parallel {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 selects hardware concurrency (min 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }  // + caller thread
+
+  // Run body(i) for i in [begin, end), split into contiguous chunks across
+  // the pool plus the calling thread. Blocks until all iterations finish.
+  // Exceptions thrown by `body` terminate (kernels must not throw).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  // Chunked variant: body(chunk_begin, chunk_end), one call per chunk.
+  // Lower overhead for tight inner loops.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+  // Process-wide shared pool.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t)>* body;
+    std::size_t chunk_begin;
+    std::size_t chunk_end;
+  };
+
+  void worker_loop();
+  void run_chunks(const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t begin, std::size_t end);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<Task> queue_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+// Convenience wrappers over the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+void parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace alsflow::parallel

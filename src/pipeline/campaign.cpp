@@ -1,0 +1,120 @@
+#include "pipeline/campaign.hpp"
+
+#include <cstdio>
+
+namespace alsflow::pipeline {
+
+const char* scan_kind_name(ScanKind k) {
+  switch (k) {
+    case ScanKind::CroppedTest: return "cropped-test";
+    case ScanKind::Standard: return "standard";
+    case ScanKind::Large: return "large";
+  }
+  return "?";
+}
+
+data::ScanMetadata make_scan(Rng& rng, ScanKind kind, std::size_t index,
+                             const std::string& user) {
+  data::ScanMetadata m;
+  char id[64];
+  std::snprintf(id, sizeof id, "scan-%05zu-%s", index, scan_kind_name(kind));
+  m.scan_id = id;
+  m.sample_name = "sample-" + std::to_string(index);
+  m.proposal = "ALS-11532";
+  m.user = user;
+  m.bit_depth = 16;
+  m.exposure_s = 0.05;
+  m.energy_kev = rng.uniform(14.0, 30.0);
+  m.pixel_um = 0.65;
+
+  switch (kind) {
+    case ScanKind::CroppedTest:
+      // Alignment scans: cropped detector, few angles -> a few MB..100s MB.
+      m.rows = std::size_t(rng.uniform_int(64, 512));
+      m.cols = 2560;
+      m.n_angles = std::size_t(rng.uniform_int(100, 500));
+      break;
+    case ScanKind::Standard:
+      // The 20-30 GB scientific scan of Section 4: full detector,
+      // 1000-2100 projections.
+      m.rows = std::size_t(rng.uniform_int(1600, 2160));
+      m.cols = 2560;
+      m.n_angles = std::size_t(rng.uniform_int(1200, 2100));
+      break;
+    case ScanKind::Large:
+      // High angular resolution / stitched: up to hundreds of GB.
+      m.rows = 2160;
+      m.cols = 2560;
+      m.n_angles = std::size_t(rng.uniform_int(6000, 12000));
+      break;
+  }
+  return m;
+}
+
+ScanKind draw_kind(Rng& rng) {
+  const double u = rng.uniform();
+  if (u < 0.20) return ScanKind::CroppedTest;
+  if (u < 0.98) return ScanKind::Standard;
+  return ScanKind::Large;  // "hundreds of GB" scans are rare
+}
+
+std::vector<Persona> default_personas() {
+  return {
+      {"visiting-user", 240.0, 0.8, ScanKind::Standard},
+      {"staff-scientist", 1800.0, 0.3, ScanKind::CroppedTest},
+      {"software-engineer", 0.0, 0.0, ScanKind::CroppedTest},  // ops only
+  };
+}
+
+namespace {
+
+sim::Proc drive(Facility& facility, CampaignConfig config,
+                std::size_t& started) {
+  Rng rng(config.seed);
+  sim::Engine& eng = facility.engine();
+  const Seconds end = eng.now() + config.duration;
+  std::size_t index = 0;
+  while (eng.now() < end) {
+    const ScanKind kind =
+        config.randomize_kind ? draw_kind(rng) : config.fixed_kind;
+    data::ScanMetadata scan = make_scan(rng, kind, index++);
+    ScanOptions options;
+    options.streaming = rng.bernoulli(config.streaming_fraction);
+    facility.submit_scan(std::move(scan), options);
+    ++started;
+    co_await sim::delay(
+        eng, rng.uniform(config.scan_interval_mean * 0.6,
+                         config.scan_interval_mean * 1.4));
+  }
+}
+
+}  // namespace
+
+CampaignReport run_campaign(Facility& facility, const CampaignConfig& config) {
+  CampaignReport report;
+  const Seconds t_end =
+      facility.engine().now() + config.duration + config.drain_margin;
+  drive(facility, config, report.scans_started).detach();
+  // run_until (not run): periodic schedules like pruning never quiesce.
+  facility.engine().run_until(t_end);
+
+  auto& db = facility.run_db();
+  report.scans_completed = facility.scans_completed();
+  report.raw_bytes = facility.raw_bytes_ingested();
+  report.new_file = db.duration_summary("new_file_832", 100);
+  report.nersc_recon = db.duration_summary("nersc_recon_flow", 100);
+  report.alcf_recon = db.duration_summary("alcf_recon_flow", 100);
+  report.nersc_success_rate = db.success_rate("nersc_recon_flow");
+  report.alcf_success_rate = db.success_rate("alcf_recon_flow");
+
+  std::vector<double> latencies;
+  for (const auto& outcome : facility.completed_outcomes()) {
+    if (outcome.streaming) {
+      latencies.push_back(outcome.streaming->preview_latency());
+    }
+  }
+  report.streaming_latency = summarize(std::move(latencies));
+  return report;
+}
+
+}  // namespace alsflow::pipeline

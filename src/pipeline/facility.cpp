@@ -1,0 +1,432 @@
+#include "pipeline/facility.hpp"
+
+#include <cassert>
+
+#include "common/checksum.hpp"
+#include "common/log.hpp"
+
+namespace alsflow::pipeline {
+
+Facility::Facility(FacilityConfig config)
+    : config_(config),
+      rng_(config.seed),
+      acq_server_("als-acq", storage::Tier::BeamlineLocal, 50 * TiB),
+      beamline_data_("als-data", storage::Tier::BeamlineLocal, 200 * TiB),
+      cfs_("nersc-cfs", storage::Tier::Cfs, 2000 * TiB),
+      eagle_("alcf-eagle", storage::Tier::Eagle, 2000 * TiB),
+      hpss_("nersc-hpss", storage::Tier::Hpss, 100000 * TiB),
+      lan_(eng_, "beamline-lan", gbps(config.lan_gbps), 0.001),
+      esnet_nersc_(eng_, "esnet-nersc", gbps(config.esnet_nersc_gbps), 0.03),
+      esnet_alcf_(eng_, "esnet-alcf", gbps(config.esnet_alcf_gbps), 0.05),
+      zmq_back_(eng_, "zmq-return", gbps(config.esnet_nersc_gbps), 0.03),
+      globus_(eng_, config.seed ^ 0x5eed),
+      perlmutter_(eng_, "perlmutter", config.perlmutter_nodes),
+      sfapi_(eng_, perlmutter_),
+      nersc_(eng_, sfapi_, config.compute),
+      polaris_(eng_, "polaris", config.polaris_workers),
+      alcf_(eng_, polaris_, config.compute),
+      workstation_(eng_, config.compute),
+      flows_(eng_, db_),
+      detector_(eng_, beamline::Detector::Config{}, config.seed ^ 0xde7),
+      mirror_(eng_, detector_.ioc_channel(), "pva-mirror"),
+      file_writer_(eng_, mirror_.channel(), acq_server_),
+      streaming_(eng_, mirror_.channel(), esnet_nersc_, zmq_back_,
+                 config.compute) {
+  // Globus routes between every endpoint pair in use.
+  globus_.add_route("als-acq", "als-data", &lan_);
+  globus_.add_route("als-data", "nersc-cfs", &esnet_nersc_);
+  globus_.add_route("nersc-cfs", "als-data", &esnet_nersc_);
+  globus_.add_route("als-data", "alcf-eagle", &esnet_alcf_);
+  globus_.add_route("alcf-eagle", "als-data", &esnet_alcf_);
+  globus_.add_route("nersc-cfs", "nersc-hpss", &esnet_nersc_);
+
+  // Paper: high concurrency for scan detection, lower for HPC submission
+  // (but at least the steady-state number of in-flight reconstructions).
+  // Each facility gets its own submission pool so a backlog at one site
+  // cannot stall the other.
+  flows_.set_pool_limit("default", 16);
+  flows_.set_pool_limit("hpc-nersc", 8);
+  flows_.set_pool_limit("hpc-alcf", 8);
+
+  file_writer_.on_complete(
+      [this](const data::ScanMetadata& scan, const std::string& path) {
+        auto it = write_done_.find(scan.scan_id);
+        if (it != write_done_.end()) it->second.trigger(path);
+      });
+
+  register_flows();
+}
+
+void Facility::register_flows() {
+  flow::FlowOptions staging;
+  staging.max_retries = 2;
+  staging.retry_delay = 30.0;
+  staging.work_pool = "default";
+  flows_.register_flow(
+      "new_file_832",
+      [this](flow::FlowContext ctx) { return new_file_832(ctx); }, staging);
+
+  flow::FlowOptions hpc_opts;
+  hpc_opts.max_retries = 1;
+  hpc_opts.retry_delay = 60.0;
+  hpc_opts.work_pool = "hpc-nersc";
+  flows_.register_flow(
+      "nersc_recon_flow",
+      [this](flow::FlowContext ctx) { return nersc_recon_flow(ctx); },
+      hpc_opts);
+  hpc_opts.work_pool = "hpc-alcf";
+  flows_.register_flow(
+      "alcf_recon_flow",
+      [this](flow::FlowContext ctx) { return alcf_recon_flow(ctx); },
+      hpc_opts);
+
+  flow::FlowOptions archive_opts;
+  archive_opts.max_retries = 2;
+  archive_opts.retry_delay = 300.0;  // tape is patient
+  archive_opts.work_pool = "hpc-nersc";
+  flows_.register_flow(
+      "hpss_archive_flow",
+      [this](flow::FlowContext ctx) { return hpss_archive_flow(ctx); },
+      archive_opts);
+
+  flow::FlowOptions prune_opts;
+  prune_opts.work_pool = "default";
+  flows_.register_flow(
+      "prune_beamline",
+      [this](flow::FlowContext) { return prune_endpoint_flow(beamline_data_); },
+      prune_opts);
+  flows_.register_flow(
+      "prune_cfs",
+      [this](flow::FlowContext) { return prune_endpoint_flow(cfs_); },
+      prune_opts);
+  flows_.register_flow(
+      "prune_eagle",
+      [this](flow::FlowContext) { return prune_endpoint_flow(eagle_); },
+      prune_opts);
+}
+
+// ---------------------------------------------------------------------------
+// Flows
+// ---------------------------------------------------------------------------
+
+sim::Future<Status> Facility::new_file_832(flow::FlowContext ctx) {
+  const data::ScanMetadata scan = scan_for(ctx.parameters);
+  const std::string raw_path = file_writer_.path_for(scan);
+
+  // Dataset close-out: detection debounce, HDF5 header verification and
+  // metadata extraction (reads the file once at local-disk rate).
+  co_await sim::delay(eng_, 20.0 + double(scan.raw_bytes()) / 2.5e9);
+
+  // Task 1: move raw data from the acquisition server to the
+  // user-accessible beamline data server.
+  // Task bodies are bound to named std::function locals: inline
+  // lambda temporaries in a co_await expression are double-destroyed
+  // by GCC 12 (see the note in flow/engine.hpp).
+  std::function<sim::Future<Status>()> copied_task =
+      [this, raw_path]() -> sim::Future<Status> {
+        transfer::TransferSpec spec;
+        spec.src = &acq_server_;
+        spec.dst = &beamline_data_;
+        spec.files = {{raw_path, raw_path}};
+        spec.verify_checksum = config_.verify_checksums;
+        spec.label = "new_file_832:stage";
+        auto outcome = co_await globus_.submit(std::move(spec));
+        co_return outcome.status;
+      };
+  Status copied = co_await flows_.run_task(ctx, "copy_to_data_server", copied_task);
+  if (!copied.ok()) co_return copied;
+
+  // Task 2: ingest scan metadata into SciCat.
+  std::function<sim::Future<Status>()> scicat_ingest_task =
+      [this, scan, raw_path]() -> sim::Future<Status> {
+        co_await sim::delay(eng_, 2.0);  // catalogue API round trip
+        raw_pids_[scan.scan_id] =
+            scicat_.ingest(catalog::DatasetType::Raw, raw_path,
+                           beamline_data_.name(), eng_.now(),
+                           scan.as_fields());
+        co_return Status::success();
+      };
+  co_return co_await flows_.run_task(ctx, "scicat_ingest", scicat_ingest_task);
+}
+
+Seconds Facility::nersc_staging_seconds(const data::ScanMetadata& scan) const {
+  // In-job bash copy CFS -> pscratch, then writing the TIFF stack + Zarr
+  // pyramid (~1.3x the volume for the multiscale levels) back to CFS.
+  const double stage_in =
+      double(scan.raw_bytes()) / config_.pscratch_stage_rate;
+  const double write_out =
+      double(scan.recon_bytes()) * 1.3 / config_.output_write_rate;
+  return stage_in + write_out;
+}
+
+sim::Future<Status> Facility::nersc_recon_flow(flow::FlowContext ctx) {
+  const data::ScanMetadata scan = scan_for(ctx.parameters);
+  const std::string raw_path = file_writer_.path_for(scan);
+  const std::string cfs_raw = "/als/raw/" + scan.scan_id + ".ah5";
+  const std::string cfs_recon = "/als/recon/" + scan.scan_id + ".zarr";
+  const std::string back_path = "/recon/nersc/" + scan.scan_id + ".zarr";
+
+  // Task 1: Globus transfer of the raw file to the NERSC CFS.
+  std::function<sim::Future<Status>()> moved_task =
+      [this, raw_path, cfs_raw]() -> sim::Future<Status> {
+        transfer::TransferSpec spec;
+        spec.src = &beamline_data_;
+        spec.dst = &cfs_;
+        spec.files = {{raw_path, cfs_raw}};
+        spec.verify_checksum = config_.verify_checksums;
+        spec.label = "nersc:raw_to_cfs";
+        auto outcome = co_await globus_.submit(std::move(spec));
+        co_return outcome.status;
+      };
+  Status moved = co_await flows_.run_task(ctx, "globus_to_cfs", moved_task);
+  if (!moved.ok()) co_return moved;
+
+  // Task 2: SFAPI -> Slurm realtime job (podman container; stages to
+  // pscratch, runs TomoPy-equivalent gridrec, writes TIFF + Zarr).
+  std::function<sim::Future<Status>()> recon_task =
+      [this, scan, cfs_recon]() -> sim::Future<Status> {
+        hpc::ReconJob job;
+        job.name = "tomopy-" + scan.scan_id;
+        job.nz = scan.rows;
+        job.n = scan.cols;
+        job.algorithm = tomo::Algorithm::Gridrec;
+        job.staging_seconds = nersc_staging_seconds(scan);
+        auto outcome = co_await nersc_.run(job);
+        if (!outcome.status.ok()) co_return outcome.status;
+        co_return cfs_.put(cfs_recon, Bytes(double(scan.recon_bytes()) * 1.3),
+                           fnv1a64(cfs_recon), eng_.now());
+      };
+  Status recon = co_await flows_.run_task(ctx, "sfapi_recon_job", recon_task);
+  if (!recon.ok()) co_return recon;
+
+  // Task 3: move the reconstruction products back to the beamline.
+  std::function<sim::Future<Status>()> back_task =
+      [this, cfs_recon, back_path]() -> sim::Future<Status> {
+        transfer::TransferSpec spec;
+        spec.src = &cfs_;
+        spec.dst = &beamline_data_;
+        spec.files = {{cfs_recon, back_path}};
+        spec.verify_checksum = config_.verify_checksums;
+        spec.label = "nersc:recon_back";
+        auto outcome = co_await globus_.submit(std::move(spec));
+        co_return outcome.status;
+      };
+  Status back = co_await flows_.run_task(ctx, "globus_back_to_beamline", back_task);
+  if (!back.ok()) co_return back;
+
+  // Task 4: register the derived dataset with provenance.
+  std::function<sim::Future<Status>()> scicat_derived_task =
+      [this, scan, back_path]() -> sim::Future<Status> {
+        co_await sim::delay(eng_, 2.0);
+        auto parent = raw_pids_.find(scan.scan_id);
+        scicat_.ingest(catalog::DatasetType::Derived, back_path,
+                       beamline_data_.name(), eng_.now(),
+                       {{"scan_id", scan.scan_id},
+                        {"pipeline", "nersc_recon_flow"},
+                        {"algorithm", "gridrec"}},
+                       parent == raw_pids_.end() ? "" : parent->second);
+        co_return Status::success();
+      };
+  co_return co_await flows_.run_task(ctx, "scicat_derived", scicat_derived_task);
+}
+
+sim::Future<Status> Facility::alcf_recon_flow(flow::FlowContext ctx) {
+  const data::ScanMetadata scan = scan_for(ctx.parameters);
+  const std::string raw_path = file_writer_.path_for(scan);
+  const std::string eagle_raw = "/als/raw/" + scan.scan_id + ".ah5";
+  const std::string eagle_recon = "/als/recon/" + scan.scan_id + ".zarr";
+  const std::string back_path = "/recon/alcf/" + scan.scan_id + ".zarr";
+
+  std::function<sim::Future<Status>()> moved_task =
+      [this, raw_path, eagle_raw]() -> sim::Future<Status> {
+        transfer::TransferSpec spec;
+        spec.src = &beamline_data_;
+        spec.dst = &eagle_;
+        spec.files = {{raw_path, eagle_raw}};
+        spec.verify_checksum = config_.verify_checksums;
+        spec.label = "alcf:raw_to_eagle";
+        auto outcome = co_await globus_.submit(std::move(spec));
+        co_return outcome.status;
+      };
+  Status moved = co_await flows_.run_task(ctx, "globus_to_eagle", moved_task);
+  if (!moved.ok()) co_return moved;
+
+  // Globus Compute function: reconstruct directly against Eagle (pilot
+  // workers, no batch queue, no staging copy).
+  std::function<sim::Future<Status>()> recon_task =
+      [this, scan, eagle_recon]() -> sim::Future<Status> {
+        hpc::ReconJob job;
+        job.name = "tomopy-" + scan.scan_id;
+        job.nz = scan.rows;
+        job.n = scan.cols;
+        job.algorithm = tomo::Algorithm::Gridrec;
+        // Output products written straight to Eagle.
+        job.staging_seconds = double(scan.recon_bytes()) * 1.3 /
+                              config_.output_write_rate;
+        auto outcome = co_await alcf_.run(job);
+        if (!outcome.status.ok()) co_return outcome.status;
+        co_return eagle_.put(eagle_recon,
+                             Bytes(double(scan.recon_bytes()) * 1.3),
+                             fnv1a64(eagle_recon), eng_.now());
+      };
+  Status recon = co_await flows_.run_task(ctx, "globus_compute_recon", recon_task);
+  if (!recon.ok()) co_return recon;
+
+  std::function<sim::Future<Status>()> back_task =
+      [this, eagle_recon, back_path]() -> sim::Future<Status> {
+        transfer::TransferSpec spec;
+        spec.src = &eagle_;
+        spec.dst = &beamline_data_;
+        spec.files = {{eagle_recon, back_path}};
+        spec.verify_checksum = config_.verify_checksums;
+        spec.label = "alcf:recon_back";
+        auto outcome = co_await globus_.submit(std::move(spec));
+        co_return outcome.status;
+      };
+  Status back = co_await flows_.run_task(ctx, "globus_back_to_beamline", back_task);
+  if (!back.ok()) co_return back;
+
+  std::function<sim::Future<Status>()> scicat_derived_task =
+      [this, scan, back_path]() -> sim::Future<Status> {
+        co_await sim::delay(eng_, 2.0);
+        auto parent = raw_pids_.find(scan.scan_id);
+        scicat_.ingest(catalog::DatasetType::Derived, back_path,
+                       beamline_data_.name(), eng_.now(),
+                       {{"scan_id", scan.scan_id},
+                        {"pipeline", "alcf_recon_flow"},
+                        {"algorithm", "gridrec"}},
+                       parent == raw_pids_.end() ? "" : parent->second);
+        co_return Status::success();
+      };
+  co_return co_await flows_.run_task(ctx, "scicat_derived", scicat_derived_task);
+}
+
+sim::Future<Status> Facility::hpss_archive_flow(flow::FlowContext ctx) {
+  const data::ScanMetadata scan = scan_for(ctx.parameters);
+  const std::string cfs_raw = "/als/raw/" + scan.scan_id + ".ah5";
+  const std::string cfs_recon = "/als/recon/" + scan.scan_id + ".zarr";
+
+  // Tape ingest runs as a Slurm xfer-style job via SFAPI: queue for the
+  // transfer slot, then stream both products to HPSS.
+  std::function<sim::Future<Status>()> archive_task =
+      [this, scan, cfs_raw, cfs_recon]() -> sim::Future<Status> {
+        // Tape mount + positioning latency before the stream starts.
+        co_await sim::delay(eng_, 45.0);
+        transfer::TransferSpec spec;
+        spec.src = &cfs_;
+        spec.dst = &hpss_;
+        spec.files = {{cfs_raw, "/archive" + cfs_raw},
+                      {cfs_recon, "/archive" + cfs_recon}};
+        spec.verify_checksum = config_.verify_checksums;
+        spec.label = "hpss:archive";
+        auto outcome = co_await globus_.submit(std::move(spec));
+        co_return outcome.status;
+      };
+  co_return co_await flows_.run_task(ctx, "archive_to_tape", archive_task);
+}
+
+sim::Future<Status> Facility::prune_endpoint_flow(
+    storage::StorageEndpoint& ep) {
+  co_await sim::delay(eng_, 1.0);  // directory walk
+  auto policy = storage::default_policy(ep.tier());
+  auto report = storage::prune_pass(ep, policy, eng_.now());
+  if (!report.errors.empty()) {
+    // Post-incident behaviour: fail early and surface the error instead of
+    // hammering the endpoint with doomed delete requests.
+    if (config_.fail_early) co_return report.errors.front();
+    // Pre-incident behaviour: keep retrying each file (modeled as extra
+    // traffic + a hung-queue delay proportional to the error count).
+    co_await sim::delay(eng_, 30.0 * double(report.errors.size()));
+    co_return report.errors.front();
+  }
+  co_return Status::success();
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+sim::Proc Facility::background_job_generator(Seconds until) {
+  // Poisson arrivals sized to hold the requested utilization.
+  const double arrival_mean =
+      config_.background_job_mean /
+      (config_.background_utilization * double(config_.perlmutter_nodes));
+  while (eng_.now() < until) {
+    co_await sim::delay(eng_, rng_.exponential(arrival_mean));
+    hpc::JobSpec job;
+    job.name = "background";
+    job.qos = hpc::Qos::Regular;
+    job.duration = rng_.exponential(config_.background_job_mean);
+    job.walltime_limit = job.duration + hours(1);
+    perlmutter_.submit(job);
+  }
+}
+
+void Facility::start_background_load(Seconds duration) {
+  background_job_generator(eng_.now() + duration).detach();
+}
+
+void Facility::start_pruning(Seconds period) {
+  flows_.schedule_periodic("prune_beamline", period, period * 0.5);
+  flows_.schedule_periodic("prune_cfs", period, period * 0.6);
+  flows_.schedule_periodic("prune_eagle", period, period * 0.7);
+}
+
+sim::Future<ScanOutcome> Facility::process_scan_impl(data::ScanMetadata scan,
+                                                     ScanOptions options) {
+  assert(scan.validate().ok());
+  ScanOutcome outcome;
+  outcome.started_at = eng_.now();
+  scans_[scan.scan_id] = scan;
+  write_done_.emplace(scan.scan_id, sim::Event<std::string>());
+
+  file_writer_.begin_scan(scan);
+  if (options.streaming) streaming_.begin_scan(scan);
+
+  // Acquisition (frames fan out to the file-writer and streaming service).
+  scan = co_await detector_.acquire(std::move(scan));
+  outcome.scan = scan;
+
+  // Wait for the file-writer to finish saving the HDF5 file.
+  auto write_event = write_done_.at(scan.scan_id);
+  (void)co_await write_event;
+  raw_bytes_ingested_ += scan.raw_bytes();
+
+  // Staging + metadata flow, then both HPC branches in parallel.
+  auto new_file = co_await flows_.run_flow("new_file_832", scan.scan_id);
+  outcome.new_file_status = new_file.status;
+
+  std::optional<sim::Future<flow::FlowRunResult>> nersc_fut, alcf_fut;
+  if (options.run_nersc) {
+    nersc_fut = flows_.run_flow("nersc_recon_flow", scan.scan_id);
+  }
+  if (options.run_alcf) {
+    alcf_fut = flows_.run_flow("alcf_recon_flow", scan.scan_id);
+  }
+  if (nersc_fut) outcome.nersc = co_await *nersc_fut;
+  if (alcf_fut) outcome.alcf = co_await *alcf_fut;
+  if (options.archive && outcome.nersc &&
+      outcome.nersc->state == flow::RunState::Completed) {
+    // Long-term archival proceeds in the background; scan completion does
+    // not wait on tape.
+    flows_.submit_flow("hpss_archive_flow", scan.scan_id);
+  }
+  if (options.streaming) {
+    outcome.streaming = co_await streaming_.wait_preview(scan.scan_id);
+  }
+
+  outcome.finished_at = eng_.now();
+  ++scans_completed_;
+  outcomes_.push_back(outcome);
+  write_done_.erase(scan.scan_id);
+  co_return outcome;
+}
+
+void Facility::submit_scan(data::ScanMetadata scan, ScanOptions options) {
+  [](Facility& self, data::ScanMetadata s, ScanOptions o) -> sim::Proc {
+    (void)co_await self.process_scan(std::move(s), o);
+  }(*this, std::move(scan), options)
+      .detach();
+}
+
+}  // namespace alsflow::pipeline

@@ -1,0 +1,203 @@
+// The full multi-facility world (Figure 3), wired end to end.
+//
+// A Facility owns every operational layer on one simulation engine:
+//   Acquisition  — Detector -> PVA mirror -> FileWriterService
+//   Orchestration— FlowEngine + RunDatabase with the three production
+//                  flows (new_file_832, nersc_recon_flow, alcf_recon_flow)
+//                  and scheduled pruning flows
+//   Movement     — Globus TransferService over ESnet links; streaming via
+//                  the PVA mirror + ZeroMQ return path
+//   Compute      — Perlmutter (Slurm + SFAPI, realtime QOS) and Polaris
+//                  (Globus Compute pilot endpoint), plus the historical
+//                  workstation baseline
+//   Access       — SciCat metadata catalogue (+ TiledService at library
+//                  level for real-pixel runs)
+//
+// process_scan() drives one acquisition through every enabled branch and
+// returns when all branches finish; benches call it at production cadence.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "beamline/detector.hpp"
+#include "beamline/file_writer.hpp"
+#include "catalog/scicat.hpp"
+#include "common/rng.hpp"
+#include "flow/engine.hpp"
+#include "hpc/adapter.hpp"
+#include "net/link.hpp"
+#include "net/pubsub.hpp"
+#include "pipeline/streaming_service.hpp"
+#include "sim/engine.hpp"
+#include "storage/endpoint.hpp"
+#include "storage/retention.hpp"
+#include "transfer/transfer_service.hpp"
+
+namespace alsflow::pipeline {
+
+struct FacilityConfig {
+  std::uint64_t seed = 42;
+
+  // Network (paper: 10 Gbps beamline NIC; ESnet paths to both centers).
+  double lan_gbps = 10.0;
+  double esnet_nersc_gbps = 10.0;
+  double esnet_alcf_gbps = 10.0;
+
+  // Compute. Sustaining 12-20 scans/hour with 20-30 minute reconstructions
+  // needs ~6 concurrent jobs per site (rate x duration), so the realtime
+  // allocation spans several nodes and the ALCF endpoint keeps a matching
+  // pilot pool.
+  int perlmutter_nodes = 8;
+  int polaris_workers = 6;
+  // Background (non-beamline) Perlmutter load: target utilization and mean
+  // job length — what the realtime QOS has to cut through.
+  double background_utilization = 0.8;
+  Seconds background_job_mean = 900.0;
+
+  // Staging I/O rates inside jobs.
+  double pscratch_stage_rate = 5e9;   // CFS -> pscratch copy
+  double output_write_rate = 2e9;     // TIFF + Zarr product writes
+
+  // Flow behaviour.
+  bool verify_checksums = true;
+  // Fail-early + remote auto-cancel (the post-incident behaviour).
+  bool fail_early = true;
+
+  hpc::ComputeModel compute;
+};
+
+struct ScanOptions {
+  bool streaming = false;
+  bool run_nersc = true;
+  bool run_alcf = true;
+  // Archive raw + reconstruction to HPSS tape after the NERSC branch
+  // completes (Section 4.2.3: long-term archival through Slurm/SFAPI).
+  bool archive = true;
+};
+
+struct ScanOutcome {
+  data::ScanMetadata scan;
+  Status new_file_status = Status::success();
+  std::optional<flow::FlowRunResult> nersc;
+  std::optional<flow::FlowRunResult> alcf;
+  std::optional<StreamingReport> streaming;
+  Seconds started_at = 0.0;
+  Seconds finished_at = 0.0;
+};
+
+class Facility {
+ public:
+  explicit Facility(FacilityConfig config = {});
+
+  sim::Engine& engine() { return eng_; }
+  const FacilityConfig& config() const { return config_; }
+
+  // --- world components (exposed for tests and benches) ---
+  storage::StorageEndpoint& acq_server() { return acq_server_; }
+  storage::StorageEndpoint& beamline_data() { return beamline_data_; }
+  storage::StorageEndpoint& cfs() { return cfs_; }
+  storage::StorageEndpoint& eagle() { return eagle_; }
+  storage::StorageEndpoint& hpss() { return hpss_; }
+  transfer::TransferService& globus() { return globus_; }
+  hpc::SlurmCluster& perlmutter() { return perlmutter_; }
+  hpc::GlobusComputeEndpoint& polaris() { return polaris_; }
+  flow::FlowEngine& flows() { return flows_; }
+  flow::RunDatabase& run_db() { return db_; }
+  catalog::SciCatalog& scicat() { return scicat_; }
+  beamline::Detector& detector() { return detector_; }
+  StreamingService& streaming() { return streaming_; }
+  hpc::WorkstationAdapter& workstation() { return workstation_; }
+  net::Link& esnet_nersc() { return esnet_nersc_; }
+
+  // Generate non-beamline Perlmutter load for `duration` (call once,
+  // before driving scans, to model realistic realtime queue waits).
+  void start_background_load(Seconds duration);
+
+  // Start the scheduled pruning flows (Section 4.2.2) with the given
+  // period; uses per-tier default retention policies.
+  void start_pruning(Seconds period = hours(12));
+
+  // Drive one scan end to end: acquisition -> file write -> new_file_832
+  // -> enabled branches. Resolves when every branch completes.
+  // (Wrapper over the coroutine impl: see flow/engine.hpp on GCC 12.)
+  sim::Future<ScanOutcome> process_scan(data::ScanMetadata scan,
+                                        ScanOptions options) {
+    return process_scan_impl(std::move(scan), options);
+  }
+
+  // Fire-and-forget variant for campaign driving at production cadence.
+  void submit_scan(data::ScanMetadata scan, ScanOptions options);
+
+  std::size_t scans_completed() const { return scans_completed_; }
+  Bytes raw_bytes_ingested() const { return raw_bytes_ingested_; }
+  std::vector<ScanOutcome> completed_outcomes() const { return outcomes_; }
+
+ private:
+  sim::Future<ScanOutcome> process_scan_impl(data::ScanMetadata scan,
+                                             ScanOptions options);
+  void register_flows();
+  sim::Proc background_job_generator(Seconds until);
+  sim::Future<Status> new_file_832(flow::FlowContext ctx);
+  sim::Future<Status> nersc_recon_flow(flow::FlowContext ctx);
+  sim::Future<Status> alcf_recon_flow(flow::FlowContext ctx);
+  sim::Future<Status> hpss_archive_flow(flow::FlowContext ctx);
+  sim::Future<Status> prune_endpoint_flow(storage::StorageEndpoint& ep);
+
+  const data::ScanMetadata& scan_for(const std::string& scan_id) const {
+    return scans_.at(scan_id);
+  }
+  // In-job staging time for a scan's reconstruction at NERSC.
+  Seconds nersc_staging_seconds(const data::ScanMetadata& scan) const;
+
+  FacilityConfig config_;
+  sim::Engine eng_;
+  Rng rng_;
+
+  // Storage.
+  storage::StorageEndpoint acq_server_;
+  storage::StorageEndpoint beamline_data_;
+  storage::StorageEndpoint cfs_;
+  storage::StorageEndpoint eagle_;
+  storage::StorageEndpoint hpss_;
+
+  // Network.
+  net::Link lan_;
+  net::Link esnet_nersc_;
+  net::Link esnet_alcf_;
+  net::Link zmq_back_;
+
+  // Movement.
+  transfer::TransferService globus_;
+
+  // Compute.
+  hpc::SlurmCluster perlmutter_;
+  hpc::SfApiClient sfapi_;
+  hpc::NerscSlurmAdapter nersc_;
+  hpc::GlobusComputeEndpoint polaris_;
+  hpc::AlcfGlobusComputeAdapter alcf_;
+  hpc::WorkstationAdapter workstation_;
+
+  // Orchestration + access.
+  flow::RunDatabase db_;
+  flow::FlowEngine flows_;
+  catalog::SciCatalog scicat_;
+
+  // Acquisition.
+  beamline::Detector detector_;
+  net::MirrorServer<beamline::FrameBatch> mirror_;
+  beamline::FileWriterService file_writer_;
+  StreamingService streaming_;
+
+  // Scan bookkeeping.
+  std::map<std::string, data::ScanMetadata> scans_;
+  std::map<std::string, sim::Event<std::string>> write_done_;  // scan -> path
+  std::map<std::string, std::string> raw_pids_;  // scan -> SciCat PID
+  std::size_t scans_completed_ = 0;
+  Bytes raw_bytes_ingested_ = 0;
+  std::vector<ScanOutcome> outcomes_;
+};
+
+}  // namespace alsflow::pipeline

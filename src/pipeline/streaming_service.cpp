@@ -1,0 +1,86 @@
+#include "pipeline/streaming_service.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace alsflow::pipeline {
+
+StreamingService::StreamingService(sim::Engine& eng,
+                                   net::Channel<beamline::FrameBatch>& mirror,
+                                   net::Link& esnet_in, net::Link& zmq_back,
+                                   hpc::ComputeModel model)
+    : eng_(eng), zmq_back_(zmq_back), model_(model) {
+  // Frames traverse ESnet to the NERSC compute node as they are acquired.
+  sub_ = mirror.subscribe_sized(
+      &esnet_in,
+      [](const beamline::FrameBatch& b) { return b.bytes; });
+  pump().detach();
+}
+
+void StreamingService::begin_scan(const data::ScanMetadata& scan) {
+  Active a;
+  a.scan = scan;
+  active_[scan.scan_id] = std::move(a);
+}
+
+sim::Proc StreamingService::pump() {
+  for (;;) {
+    beamline::FrameBatch batch = co_await sub_->queue().pop();
+    auto it = active_.find(batch.scan_id);
+    if (it == active_.end()) continue;  // streaming not enabled for scan
+    Active& a = it->second;
+    a.frames += batch.count;
+    a.bytes += batch.bytes;  // in-memory cache until acquisition completes
+    if (batch.last_of_scan) a.saw_last = true;
+    if (a.saw_last && a.frames >= a.scan.n_angles) {
+      finalize(batch.scan_id).detach();
+    }
+  }
+}
+
+sim::Proc StreamingService::finalize(std::string scan_id) {
+  Active& a = active_.at(scan_id);
+  StreamingReport report;
+  report.scan_id = scan_id;
+  report.last_frame_at = eng_.now();
+  report.cached_bytes = a.bytes;
+
+  // Back-project the cached, filtered dataset on the 4-GPU node.
+  co_await sim::delay(
+      eng_, model_.streaming_finalize_seconds(a.scan.rows, a.scan.cols));
+  report.recon_done_at = eng_.now();
+
+  // Three orthogonal float32 preview slices return via ZeroMQ.
+  const Bytes preview_bytes = 3ull * a.scan.cols * a.scan.cols * 4;
+  co_await zmq_back_.send(preview_bytes);
+  report.preview_at = eng_.now();
+
+  ++delivered_;
+  log_info("streaming") << scan_id << ": preview in "
+                        << human_duration(report.preview_latency())
+                        << " after acquisition";
+  auto done = a.done;
+  reports_[scan_id] = report;
+  active_.erase(scan_id);
+  done.trigger(report);
+}
+
+sim::Future<StreamingReport> StreamingService::wait_preview_impl(
+    std::string scan_id) {
+  auto existing = reports_.find(scan_id);
+  if (existing != reports_.end()) co_return existing->second;
+  auto it = active_.find(scan_id);
+  assert(it != active_.end() && "scan not registered for streaming");
+  auto done = it->second.done;
+  co_return co_await done;
+}
+
+std::optional<StreamingReport> StreamingService::report(
+    const std::string& scan_id) const {
+  auto it = reports_.find(scan_id);
+  if (it == reports_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace alsflow::pipeline

@@ -1,0 +1,145 @@
+// Awaitable synchronization primitives for simulation coroutines.
+//
+// Semaphore models counted capacity (worker slots, concurrency limits,
+// node pools). Queue<T> models a FIFO channel between producer and
+// consumer processes (work queues, message streams). Both are FIFO-fair:
+// waiters are served in arrival order.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace alsflow::sim {
+
+class Semaphore {
+ public:
+  explicit Semaphore(int capacity) : available_(capacity), capacity_(capacity) {
+    assert(capacity >= 0);
+  }
+
+  int available() const { return available_; }
+  int capacity() const { return capacity_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+  struct Acquire {
+    Semaphore& sem;
+    int n;
+
+    bool await_ready() {
+      // Fast path only when nobody is queued (FIFO fairness); tokens are
+      // deducted here. Slow-path waiters have tokens deducted by release().
+      if (sem.waiters_.empty() && sem.available_ >= n) {
+        sem.available_ -= n;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      sem.waiters_.push_back({n, h});
+    }
+    void await_resume() const {}
+  };
+
+  // co_await sem.acquire(n): suspends until n tokens are available.
+  Acquire acquire(int n = 1) {
+    assert(n <= capacity_);
+    return Acquire{*this, n};
+  }
+
+  void release(int n = 1) {
+    available_ += n;
+    assert(available_ <= capacity_);
+    drain();
+  }
+
+ private:
+  friend struct Acquire;
+
+  void drain() {
+    while (!waiters_.empty() && available_ >= waiters_.front().n) {
+      auto w = waiters_.front();
+      waiters_.pop_front();
+      available_ -= w.n;
+      w.handle.resume();
+    }
+  }
+
+  struct Waiter {
+    int n;
+    std::coroutine_handle<> handle;
+  };
+
+  int available_;
+  int capacity_;
+  std::deque<Waiter> waiters_;
+};
+
+// RAII guard releasing semaphore tokens at scope exit (co_await-safe: the
+// guard lives in the coroutine frame).
+class SemaphoreGuard {
+ public:
+  SemaphoreGuard(Semaphore& sem, int n = 1) : sem_(&sem), n_(n) {}
+  SemaphoreGuard(const SemaphoreGuard&) = delete;
+  SemaphoreGuard& operator=(const SemaphoreGuard&) = delete;
+  SemaphoreGuard(SemaphoreGuard&& o) noexcept : sem_(o.sem_), n_(o.n_) {
+    o.sem_ = nullptr;
+  }
+  ~SemaphoreGuard() {
+    if (sem_) sem_->release(n_);
+  }
+
+ private:
+  Semaphore* sem_;
+  int n_;
+};
+
+// Unbounded FIFO channel. Consumers co_await pop(); producers push().
+template <typename T>
+class Queue {
+ public:
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  void push(T item) {
+    items_.push_back(std::move(item));
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      h.resume();
+    }
+  }
+
+  struct Pop {
+    Queue& q;
+    bool await_ready() const { return !q.items_.empty(); }
+    void await_suspend(std::coroutine_handle<> h) { q.waiters_.push_back(h); }
+    T await_resume() const {
+      assert(!q.items_.empty());
+      T item = std::move(q.items_.front());
+      q.items_.pop_front();
+      return item;
+    }
+  };
+
+  Pop pop() { return Pop{*this}; }
+
+  // Non-blocking pop for polling consumers.
+  std::optional<T> try_pop() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+ private:
+  friend struct Pop;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace alsflow::sim

@@ -1,0 +1,12 @@
+#include "sim/task.hpp"
+
+namespace alsflow::sim {
+
+Future<Unit> join_all_impl(std::vector<Proc> procs) {
+  for (auto& p : procs) {
+    co_await p;
+  }
+  co_return Unit{};
+}
+
+}  // namespace alsflow::sim

@@ -1,0 +1,247 @@
+// Coroutine process layer over the discrete-event Engine (SimPy-style).
+//
+// Simulation activities are written as C++20 coroutines returning
+// Future<T> (a value) or Proc (no value). Coroutines start eagerly and own
+// their own frames; completion is published through a shared state that any
+// number of other coroutines can `co_await`.
+//
+//   Proc acquire_scan(Engine& eng, ...) {
+//     co_await delay(eng, 180.0);            // 3-minute acquisition
+//     auto result = co_await run_recon(...); // join a child activity
+//   }
+//
+// Rules of the model:
+//  * Single-threaded: all coroutines run on the Engine's thread.
+//  * Waiters are resumed synchronously, in registration order, when a
+//    future resolves. Timed waits go through the Engine.
+//  * Suspended coroutine frames are only destroyed by running to
+//    completion: run simulations to quiescence (Engine::run()).
+//  * Exceptions escaping a simulation coroutine terminate the process;
+//    expected failures travel in Result<T> values instead.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace alsflow::sim {
+
+struct Unit {};
+
+template <typename T>
+class SharedState {
+ public:
+  bool ready() const { return value_.has_value(); }
+
+  const T& value() const {
+    assert(ready());
+    return *value_;
+  }
+
+  void set_value(T v) {
+    assert(!ready() && "future resolved twice");
+    value_ = std::move(v);
+    // Take the callback list first: a resumed waiter may register new
+    // callbacks on other states or re-enter this one via ready().
+    std::vector<std::pair<std::uint64_t, std::function<void()>>> cbs;
+    cbs.swap(callbacks_);
+    for (auto& [token, fn] : cbs) fn();
+  }
+
+  std::uint64_t add_callback(std::function<void()> fn) {
+    std::uint64_t token = next_token_++;
+    callbacks_.emplace_back(token, std::move(fn));
+    return token;
+  }
+
+  void remove_callback(std::uint64_t token) {
+    for (auto it = callbacks_.begin(); it != callbacks_.end(); ++it) {
+      if (it->first == token) {
+        callbacks_.erase(it);
+        return;
+      }
+    }
+  }
+
+ private:
+  std::optional<T> value_;
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> callbacks_;
+  std::uint64_t next_token_ = 1;
+};
+
+template <typename T>
+struct StateAwaiter {
+  std::shared_ptr<SharedState<T>> state;
+
+  bool await_ready() const { return state->ready(); }
+  void await_suspend(std::coroutine_handle<> h) {
+    state->add_callback([h] { h.resume(); });
+  }
+  T await_resume() const { return state->value(); }
+};
+
+// A value-producing simulation activity. Eagerly started; awaitable by any
+// number of coroutines; the result is copied out to each waiter.
+template <typename T>
+class [[nodiscard]] Future {
+ public:
+  struct promise_type {
+    std::shared_ptr<SharedState<T>> state = std::make_shared<SharedState<T>>();
+
+    Future get_return_object() { return Future(state); }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        h.destroy();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(T v) { state->set_value(std::move(v)); }
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  explicit Future(std::shared_ptr<SharedState<T>> state)
+      : state_(std::move(state)) {}
+
+  bool done() const { return state_->ready(); }
+  const T& value() const { return state_->value(); }
+  std::shared_ptr<SharedState<T>> state() const { return state_; }
+
+  StateAwaiter<T> operator co_await() const { return StateAwaiter<T>{state_}; }
+
+ private:
+  std::shared_ptr<SharedState<T>> state_;
+};
+
+// A simulation activity with no result value.
+class [[nodiscard]] Proc {
+ public:
+  struct promise_type {
+    std::shared_ptr<SharedState<Unit>> state =
+        std::make_shared<SharedState<Unit>>();
+
+    Proc get_return_object() { return Proc(state); }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        h.destroy();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() { state->set_value(Unit{}); }
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  explicit Proc(std::shared_ptr<SharedState<Unit>> state)
+      : state_(std::move(state)) {}
+
+  bool done() const { return state_->ready(); }
+  std::shared_ptr<SharedState<Unit>> state() const { return state_; }
+
+  StateAwaiter<Unit> operator co_await() const {
+    return StateAwaiter<Unit>{state_};
+  }
+
+  // Fire-and-forget: the coroutine frame owns itself; dropping the handle
+  // is safe and explicit.
+  void detach() const {}
+
+ private:
+  std::shared_ptr<SharedState<Unit>> state_;
+};
+
+// Suspend the current coroutine for `dt` simulated seconds.
+struct DelayAwaiter {
+  Engine& eng;
+  Seconds dt;
+
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    eng.schedule_in(dt, [h] { h.resume(); });
+  }
+  void await_resume() const {}
+};
+
+inline DelayAwaiter delay(Engine& eng, Seconds dt) { return {eng, dt}; }
+
+// One-shot manually-triggered event carrying a value; awaitable like a
+// Future. Used for service handshakes (e.g. "acquisition complete").
+template <typename T = Unit>
+class Event {
+ public:
+  Event() : state_(std::make_shared<SharedState<T>>()) {}
+
+  bool triggered() const { return state_->ready(); }
+  void trigger(T v = T{}) { state_->set_value(std::move(v)); }
+  const T& value() const { return state_->value(); }
+  std::shared_ptr<SharedState<T>> state() const { return state_; }
+
+  StateAwaiter<T> operator co_await() const { return StateAwaiter<T>{state_}; }
+
+ private:
+  std::shared_ptr<SharedState<T>> state_;
+};
+
+// Await a future with a timeout. Resumes with true if the future resolved,
+// false if the timeout fired first (the future keeps running either way).
+template <typename T>
+struct TimeoutAwaiter {
+  Engine& eng;
+  std::shared_ptr<SharedState<T>> state;
+  Seconds timeout;
+
+  bool timed_out = false;
+  EventId timer = 0;
+  std::uint64_t token = 0;
+
+  bool await_ready() const { return state->ready(); }
+  void await_suspend(std::coroutine_handle<> h) {
+    token = state->add_callback([this, h] {
+      eng.cancel(timer);
+      h.resume();
+    });
+    timer = eng.schedule_in(timeout, [this, h] {
+      state->remove_callback(token);
+      timed_out = true;
+      h.resume();
+    });
+  }
+  bool await_resume() const { return !timed_out; }
+};
+
+template <typename T>
+TimeoutAwaiter<T> with_timeout(Engine& eng, const Future<T>& fut, Seconds t) {
+  return TimeoutAwaiter<T>{eng, fut.state(), t};
+}
+template <typename T>
+TimeoutAwaiter<T> with_timeout(Engine& eng, const Event<T>& ev, Seconds t) {
+  return TimeoutAwaiter<T>{eng, ev.state(), t};
+}
+inline TimeoutAwaiter<Unit> with_timeout(Engine& eng, const Proc& p, Seconds t) {
+  return TimeoutAwaiter<Unit>{eng, p.state(), t};
+}
+
+// Await completion of every proc in the list (order irrelevant).
+// (Wrapper over the coroutine impl: prvalue class-type arguments to
+// coroutines are miscompiled by GCC 12 — see flow/engine.hpp.)
+Future<Unit> join_all_impl(std::vector<Proc> procs);
+inline Future<Unit> join_all(std::vector<Proc> procs) {
+  return join_all_impl(std::move(procs));
+}
+
+}  // namespace alsflow::sim

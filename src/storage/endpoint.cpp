@@ -1,0 +1,98 @@
+#include "storage/endpoint.hpp"
+
+namespace alsflow::storage {
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::BeamlineLocal: return "beamline-local";
+    case Tier::Cfs: return "nersc-cfs";
+    case Tier::Scratch: return "pscratch";
+    case Tier::Eagle: return "alcf-eagle";
+    case Tier::Hpss: return "hpss";
+  }
+  return "?";
+}
+
+bool StorageEndpoint::denied(const std::string& op,
+                             const std::string& path) const {
+  for (const auto& [rule_op, prefix] : deny_rules_) {
+    if (rule_op == op && path.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+Status StorageEndpoint::put(const std::string& path, Bytes size,
+                            std::uint64_t checksum, Seconds now) {
+  if (denied("put", path)) {
+    return Error::make("permission_denied", name_ + ": put " + path);
+  }
+  Bytes delta = size;
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    // Overwrite: only the size difference counts against capacity.
+    if (size >= it->second.size) {
+      delta = size - it->second.size;
+    } else {
+      used_ -= it->second.size - size;
+      delta = 0;
+    }
+  }
+  if (used_ + delta > capacity_) {
+    return Error::make("capacity", name_ + " full writing " + path);
+  }
+  used_ += delta;
+  files_[path] = FileInfo{path, size, checksum, now};
+  return Status::success();
+}
+
+Result<FileInfo> StorageEndpoint::stat(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Error::make("not_found", name_ + ": " + path);
+  }
+  return it->second;
+}
+
+bool StorageEndpoint::exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+Status StorageEndpoint::remove(const std::string& path) {
+  if (denied("remove", path)) {
+    return Error::make("permission_denied", name_ + ": remove " + path);
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Error::make("not_found", name_ + ": " + path);
+  }
+  used_ -= it->second.size;
+  files_.erase(it);
+  return Status::success();
+}
+
+std::vector<FileInfo> StorageEndpoint::list(const std::string& prefix) const {
+  std::vector<FileInfo> out;
+  for (const auto& [path, info] : files_) {
+    if (path.rfind(prefix, 0) == 0) out.push_back(info);
+  }
+  return out;
+}
+
+std::vector<FileInfo> StorageEndpoint::list_older_than(
+    const std::string& prefix, Seconds cutoff) const {
+  std::vector<FileInfo> out;
+  for (const auto& [path, info] : files_) {
+    if (path.rfind(prefix, 0) == 0 && info.created_at < cutoff) {
+      out.push_back(info);
+    }
+  }
+  return out;
+}
+
+void StorageEndpoint::deny(const std::string& op, const std::string& prefix) {
+  deny_rules_.emplace_back(op, prefix);
+}
+
+void StorageEndpoint::allow_all() { deny_rules_.clear(); }
+
+}  // namespace alsflow::storage

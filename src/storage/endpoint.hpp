@@ -1,0 +1,90 @@
+// Storage endpoints — the filesystems data moves between.
+//
+// A StorageEndpoint is a metadata-level filesystem simulation: files carry
+// size, checksum, creation time, and optional real on-disk backing (small
+// scales). Capacity accounting, per-prefix permissions (the lever behind
+// the paper's prune-burst incident), and age-based listing support the
+// data-lifecycle and pruning flows.
+//
+// Tiers mirror the production deployment: the beamline data server, NERSC
+// CFS + Perlmutter scratch, ALCF Eagle, and HPSS tape.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace alsflow::storage {
+
+enum class Tier {
+  BeamlineLocal,  // acquisition + user-access server at the ALS
+  Cfs,            // NERSC Community Filesystem
+  Scratch,        // Perlmutter pscratch (fast, purged)
+  Eagle,          // ALCF Eagle
+  Hpss,           // tape archive
+};
+
+const char* tier_name(Tier t);
+
+struct FileInfo {
+  std::string path;
+  Bytes size = 0;
+  std::uint64_t checksum = 0;
+  Seconds created_at = 0.0;
+};
+
+class StorageEndpoint {
+ public:
+  StorageEndpoint(std::string name, Tier tier, Bytes capacity)
+      : name_(std::move(name)), tier_(tier), capacity_(capacity) {}
+
+  const std::string& name() const { return name_; }
+  Tier tier() const { return tier_; }
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  double utilization() const {
+    return capacity_ ? double(used_) / double(capacity_) : 0.0;
+  }
+
+  // Create or overwrite a file record. Fails with "capacity" when full and
+  // with "permission_denied" when a deny rule matches.
+  Status put(const std::string& path, Bytes size, std::uint64_t checksum,
+             Seconds now);
+
+  Result<FileInfo> stat(const std::string& path) const;
+  bool exists(const std::string& path) const;
+
+  Status remove(const std::string& path);
+
+  // All files under a path prefix (lexicographic order).
+  std::vector<FileInfo> list(const std::string& prefix = "") const;
+
+  // Files under `prefix` created before `cutoff` (pruning candidates).
+  std::vector<FileInfo> list_older_than(const std::string& prefix,
+                                        Seconds cutoff) const;
+
+  std::size_t file_count() const { return files_.size(); }
+
+  // Permission control: operations on paths with a denied prefix fail with
+  // permission_denied. op is "put" or "remove".
+  void deny(const std::string& op, const std::string& prefix);
+  void allow_all();
+
+ private:
+  bool denied(const std::string& op, const std::string& path) const;
+
+  std::string name_;
+  Tier tier_;
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::map<std::string, FileInfo> files_;
+  std::vector<std::pair<std::string, std::string>> deny_rules_;  // op, prefix
+};
+
+}  // namespace alsflow::storage

@@ -1,0 +1,38 @@
+#include "storage/retention.hpp"
+
+namespace alsflow::storage {
+
+RetentionPolicy default_policy(Tier tier, const std::string& prefix) {
+  switch (tier) {
+    case Tier::BeamlineLocal:
+      return {prefix, days(10)};        // days to weeks
+    case Tier::Scratch:
+      return {prefix, days(2)};         // purged aggressively
+    case Tier::Cfs:
+    case Tier::Eagle:
+      return {prefix, days(180)};       // months to years
+    case Tier::Hpss:
+      return {prefix, -1.0};            // indefinite archive
+  }
+  return {prefix, -1.0};
+}
+
+PruneReport prune_pass(StorageEndpoint& ep, const RetentionPolicy& policy,
+                       Seconds now) {
+  PruneReport report;
+  if (policy.max_age < 0.0) return report;
+  const Seconds cutoff = now - policy.max_age;
+  for (const auto& info : ep.list_older_than(policy.prefix, cutoff)) {
+    ++report.files_examined;
+    Status s = ep.remove(info.path);
+    if (s.ok()) {
+      ++report.files_removed;
+      report.bytes_freed += info.size;
+    } else {
+      report.errors.push_back(s.error());
+    }
+  }
+  return report;
+}
+
+}  // namespace alsflow::storage

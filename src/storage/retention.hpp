@@ -1,0 +1,40 @@
+// Tiered retention policy + pruning pass.
+//
+// Production keeps raw/derived data days-to-weeks on beamline servers,
+// months-to-years on CFS, and indefinitely on HPSS (Section 4.3). The
+// scheduled pruning flows evaluate these policies; prune_pass() is the
+// library-level operation those flows call.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "storage/endpoint.hpp"
+
+namespace alsflow::storage {
+
+struct RetentionPolicy {
+  std::string prefix;     // subtree the policy governs
+  Seconds max_age;        // files older than now - max_age are pruned
+};
+
+// Default retention per tier (paper Section 4.3). HPSS returns "infinite"
+// (never pruned) encoded as a negative max_age.
+RetentionPolicy default_policy(Tier tier, const std::string& prefix = "");
+
+struct PruneReport {
+  std::size_t files_examined = 0;
+  std::size_t files_removed = 0;
+  Bytes bytes_freed = 0;
+  std::vector<Error> errors;  // e.g. permission_denied per file
+};
+
+// Remove everything under policy.prefix older than now - policy.max_age.
+// Files that fail to delete are recorded, not retried (the flow layer
+// owns retry semantics). A negative max_age prunes nothing.
+PruneReport prune_pass(StorageEndpoint& ep, const RetentionPolicy& policy,
+                       Seconds now);
+
+}  // namespace alsflow::storage

@@ -1,0 +1,70 @@
+#include "tomo/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace alsflow::tomo {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  assert((n & (n - 1)) == 0 && "fft size must be a power of two");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  // Danielson-Lanczos butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * M_PI / double(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / double(n);
+    for (auto& x : a) x *= inv_n;
+  }
+}
+
+void fft2(std::vector<std::complex<double>>& a, std::size_t ny, std::size_t nx,
+          bool inverse) {
+  assert(a.size() == ny * nx);
+  std::vector<std::complex<double>> tmp;
+
+  // Rows.
+  for (std::size_t y = 0; y < ny; ++y) {
+    tmp.assign(a.begin() + std::ptrdiff_t(y * nx),
+               a.begin() + std::ptrdiff_t((y + 1) * nx));
+    fft(tmp, inverse);
+    std::copy(tmp.begin(), tmp.end(), a.begin() + std::ptrdiff_t(y * nx));
+  }
+  // Columns.
+  tmp.resize(ny);
+  for (std::size_t x = 0; x < nx; ++x) {
+    for (std::size_t y = 0; y < ny; ++y) tmp[y] = a[y * nx + x];
+    fft(tmp, inverse);
+    for (std::size_t y = 0; y < ny; ++y) a[y * nx + x] = tmp[y];
+  }
+}
+
+}  // namespace alsflow::tomo

@@ -1,0 +1,24 @@
+// Radix-2 complex FFT (iterative, in-place) plus a 2-D wrapper.
+//
+// Used by the projection filters (ramp family) and the gridrec-style direct
+// Fourier reconstructor. Sizes are always padded to powers of two by the
+// callers; double precision keeps filter responses accurate for float data.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace alsflow::tomo {
+
+std::size_t next_pow2(std::size_t n);
+
+// In-place FFT of a power-of-two-length vector. `inverse` applies the
+// conjugate transform and scales by 1/N (so ifft(fft(x)) == x).
+void fft(std::vector<std::complex<double>>& a, bool inverse);
+
+// In-place 2-D FFT of a row-major ny x nx (both powers of two) buffer.
+void fft2(std::vector<std::complex<double>>& a, std::size_t ny, std::size_t nx,
+          bool inverse);
+
+}  // namespace alsflow::tomo

@@ -1,0 +1,105 @@
+#include "tomo/filters.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "tomo/fft.hpp"
+
+namespace alsflow::tomo {
+
+const char* filter_name(FilterKind kind) {
+  switch (kind) {
+    case FilterKind::None: return "none";
+    case FilterKind::Ramp: return "ramp";
+    case FilterKind::SheppLogan: return "shepp-logan";
+    case FilterKind::Hann: return "hann";
+    case FilterKind::Hamming: return "hamming";
+    case FilterKind::Cosine: return "cosine";
+    case FilterKind::Butterworth: return "butterworth";
+  }
+  return "?";
+}
+
+FilterKind filter_from_name(const std::string& name) {
+  for (FilterKind k :
+       {FilterKind::None, FilterKind::Ramp, FilterKind::SheppLogan,
+        FilterKind::Hann, FilterKind::Hamming, FilterKind::Cosine,
+        FilterKind::Butterworth}) {
+    if (name == filter_name(k)) return k;
+  }
+  throw std::invalid_argument("unknown filter: " + name);
+}
+
+std::vector<double> filter_response(FilterKind kind, std::size_t n_pad) {
+  assert((n_pad & (n_pad - 1)) == 0);
+  std::vector<double> r(n_pad, 1.0);
+  if (kind == FilterKind::None) return r;
+
+  const double half = double(n_pad) / 2.0;
+  for (std::size_t k = 0; k < n_pad; ++k) {
+    // Signed frequency index in [-N/2, N/2).
+    const double kf = k <= n_pad / 2 ? double(k) : double(k) - double(n_pad);
+    const double ramp = std::abs(kf) / double(n_pad);
+    const double fnorm = std::abs(kf) / half;  // in [0, 1]
+    double window = 1.0;
+    switch (kind) {
+      case FilterKind::Ramp:
+        break;
+      case FilterKind::SheppLogan: {
+        const double x = fnorm / 2.0;
+        window = x == 0.0 ? 1.0 : std::sin(M_PI * x) / (M_PI * x);
+        break;
+      }
+      case FilterKind::Hann:
+        window = 0.5 * (1.0 + std::cos(M_PI * fnorm));
+        break;
+      case FilterKind::Hamming:
+        window = 0.54 + 0.46 * std::cos(M_PI * fnorm);
+        break;
+      case FilterKind::Cosine:
+        window = std::cos(M_PI * fnorm / 2.0);
+        break;
+      case FilterKind::Butterworth: {
+        const double fc = 0.5, order = 4.0;
+        window = 1.0 / (1.0 + std::pow(fnorm / fc, 2.0 * order));
+        break;
+      }
+      case FilterKind::None:
+        break;
+    }
+    r[k] = ramp * window;
+  }
+  return r;
+}
+
+ProjectionFilter::ProjectionFilter(FilterKind kind, std::size_t n_det)
+    : kind_(kind),
+      n_det_(n_det),
+      n_pad_(next_pow2(2 * n_det)),
+      response_(filter_response(kind, n_pad_)) {}
+
+void ProjectionFilter::apply(std::span<const float> in,
+                             std::span<float> out) const {
+  assert(in.size() == n_det_ && out.size() == n_det_);
+  if (kind_ == FilterKind::None) {
+    if (out.data() != in.data()) std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  std::vector<std::complex<double>> buf(n_pad_, {0.0, 0.0});
+  for (std::size_t i = 0; i < n_det_; ++i) buf[i] = double(in[i]);
+  fft(buf, false);
+  for (std::size_t k = 0; k < n_pad_; ++k) buf[k] *= response_[k];
+  fft(buf, true);
+  for (std::size_t i = 0; i < n_det_; ++i) out[i] = float(buf[i].real());
+}
+
+void ProjectionFilter::apply_rows(Image& sinogram) const {
+  assert(sinogram.nx() == n_det_);
+  for (std::size_t a = 0; a < sinogram.ny(); ++a) {
+    auto row = sinogram.row(a);
+    apply(row, row);
+  }
+}
+
+}  // namespace alsflow::tomo

@@ -1,0 +1,57 @@
+// Frequency-domain projection filters for filtered back-projection.
+//
+// A ProjectionFilter pre-computes the padded ramp-family frequency response
+// for a given detector width, then filters projection rows via FFT. The
+// response uses the convention response[k] = |k|/N * window(|k|/(N/2)), so
+// the back-projector applies the remaining pi/n_angles * (1/spacing) scale
+// (see fbp.cpp) and FBP of a phantom returns attenuation values directly.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tomo/image.hpp"
+
+namespace alsflow::tomo {
+
+enum class FilterKind {
+  None,       // no filtering (plain back-projection; blurry)
+  Ramp,       // Ram-Lak
+  SheppLogan,
+  Hann,
+  Hamming,
+  Cosine,
+  Butterworth,
+};
+
+const char* filter_name(FilterKind kind);
+FilterKind filter_from_name(const std::string& name);
+
+// Frequency response over FFT bins of length n_pad (power of two).
+std::vector<double> filter_response(FilterKind kind, std::size_t n_pad);
+
+class ProjectionFilter {
+ public:
+  ProjectionFilter(FilterKind kind, std::size_t n_det);
+
+  FilterKind kind() const { return kind_; }
+  std::size_t n_det() const { return n_det_; }
+  std::size_t n_pad() const { return n_pad_; }
+
+  // Filter one projection row (out may alias in).
+  void apply(std::span<const float> in, std::span<float> out) const;
+
+  // Filter every row of a sinogram in place.
+  void apply_rows(Image& sinogram) const;
+
+ private:
+  FilterKind kind_;
+  std::size_t n_det_;
+  std::size_t n_pad_;
+  std::vector<double> response_;
+};
+
+}  // namespace alsflow::tomo

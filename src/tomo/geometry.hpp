@@ -1,0 +1,36 @@
+// Parallel-beam scan geometry.
+//
+// The ALS 8.3.2 microtomography beamline acquires parallel-beam projections
+// over 180 degrees. A scan is described by the number of projection angles,
+// the detector size (n_rows x n_det), and the rotation-axis position
+// (center) in detector-bin coordinates.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace alsflow::tomo {
+
+struct Geometry {
+  std::size_t n_angles = 0;   // projections over [0, pi)
+  std::size_t n_det = 0;      // detector bins per row (reconstruction width)
+  double center = -1.0;       // rotation axis in bin coords; <0 => n_det/2
+
+  double center_or_default() const {
+    return center >= 0.0 ? center : double(n_det) / 2.0 - 0.5;
+  }
+
+  // Angle of projection a in radians, evenly spaced over [0, pi).
+  double angle(std::size_t a) const {
+    return M_PI * double(a) / double(n_angles);
+  }
+
+  std::vector<double> angles() const {
+    std::vector<double> out(n_angles);
+    for (std::size_t a = 0; a < n_angles; ++a) out[a] = angle(a);
+    return out;
+  }
+};
+
+}  // namespace alsflow::tomo

@@ -1,0 +1,20 @@
+#include "tomo/image.hpp"
+
+#include <algorithm>
+
+namespace alsflow::tomo {
+
+Image Volume::slice_image(std::size_t z) const {
+  Image img(ny_, nx_);
+  auto src = slice(z);
+  std::copy(src.begin(), src.end(), img.data());
+  return img;
+}
+
+void Volume::set_slice(std::size_t z, const Image& img) {
+  assert(img.ny() == ny_ && img.nx() == nx_);
+  auto dst = slice(z);
+  std::copy(img.span().begin(), img.span().end(), dst.begin());
+}
+
+}  // namespace alsflow::tomo

@@ -1,0 +1,105 @@
+// Dense 2-D image and 3-D volume containers (row-major float32).
+//
+// Conventions used throughout tomo::
+//  * Image  — shape (ny, nx); pixel (y, x) at data[y * nx + x].
+//  * Volume — shape (nz, ny, nx); slice z is an Image-shaped plane.
+//  * Sinogram — an Image whose rows are projections: shape
+//    (n_angles, n_det); element (a, t) is the line integral at angle a,
+//    detector bin t.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace alsflow::tomo {
+
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t ny, std::size_t nx, float fill = 0.0f)
+      : ny_(ny), nx_(nx), data_(ny * nx, fill) {}
+
+  std::size_t ny() const { return ny_; }
+  std::size_t nx() const { return nx_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t y, std::size_t x) {
+    assert(y < ny_ && x < nx_);
+    return data_[y * nx_ + x];
+  }
+  float at(std::size_t y, std::size_t x) const {
+    assert(y < ny_ && x < nx_);
+    return data_[y * nx_ + x];
+  }
+
+  std::span<float> row(std::size_t y) {
+    assert(y < ny_);
+    return {data_.data() + y * nx_, nx_};
+  }
+  std::span<const float> row(std::size_t y) const {
+    assert(y < ny_);
+    return {data_.data() + y * nx_, nx_};
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+
+  void fill(float v) { data_.assign(data_.size(), v); }
+
+ private:
+  std::size_t ny_ = 0;
+  std::size_t nx_ = 0;
+  std::vector<float> data_;
+};
+
+class Volume {
+ public:
+  Volume() = default;
+  Volume(std::size_t nz, std::size_t ny, std::size_t nx, float fill = 0.0f)
+      : nz_(nz), ny_(ny), nx_(nx), data_(nz * ny * nx, fill) {}
+
+  std::size_t nz() const { return nz_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nx() const { return nx_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t z, std::size_t y, std::size_t x) {
+    assert(z < nz_ && y < ny_ && x < nx_);
+    return data_[(z * ny_ + y) * nx_ + x];
+  }
+  float at(std::size_t z, std::size_t y, std::size_t x) const {
+    assert(z < nz_ && y < ny_ && x < nx_);
+    return data_[(z * ny_ + y) * nx_ + x];
+  }
+
+  std::span<float> slice(std::size_t z) {
+    assert(z < nz_);
+    return {data_.data() + z * ny_ * nx_, ny_ * nx_};
+  }
+  std::span<const float> slice(std::size_t z) const {
+    assert(z < nz_);
+    return {data_.data() + z * ny_ * nx_, ny_ * nx_};
+  }
+
+  // Copy slice z into/out of an Image.
+  Image slice_image(std::size_t z) const;
+  void set_slice(std::size_t z, const Image& img);
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+ private:
+  std::size_t nz_ = 0;
+  std::size_t ny_ = 0;
+  std::size_t nx_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace alsflow::tomo

@@ -1,0 +1,165 @@
+#include "tomo/metrics.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace alsflow::tomo {
+
+namespace {
+
+template <typename Container>
+double rmse_impl(const Container& a, const Container& b) {
+  assert(a.size() == b.size());
+  if (a.size() == 0) return 0.0;
+  double acc = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = double(pa[i]) - double(pb[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc / double(a.size()));
+}
+
+struct Moments {
+  double mean_a = 0.0, mean_b = 0.0;
+  double var_a = 0.0, var_b = 0.0;
+  double cov = 0.0;
+};
+
+Moments moments(const Image& a, const Image& b) {
+  assert(a.size() == b.size() && a.size() > 0);
+  Moments m;
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    m.mean_a += a.data()[i];
+    m.mean_b += b.data()[i];
+  }
+  m.mean_a /= double(n);
+  m.mean_b /= double(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a.data()[i] - m.mean_a;
+    const double db = b.data()[i] - m.mean_b;
+    m.var_a += da * da;
+    m.var_b += db * db;
+    m.cov += da * db;
+  }
+  m.var_a /= double(n);
+  m.var_b /= double(n);
+  m.cov /= double(n);
+  return m;
+}
+
+}  // namespace
+
+double rmse(const Image& a, const Image& b) { return rmse_impl(a, b); }
+double rmse(const Volume& a, const Volume& b) { return rmse_impl(a, b); }
+
+double psnr(const Image& reference, const Image& test) {
+  double peak = 0.0;
+  for (float p : reference.span()) peak = std::max(peak, double(p));
+  const double err = rmse(reference, test);
+  if (err == 0.0) return 200.0;  // identical within float precision
+  if (peak <= 0.0) return 0.0;
+  return 20.0 * std::log10(peak / err);
+}
+
+double ssim_global(const Image& a, const Image& b) {
+  const Moments m = moments(a, b);
+  // Dynamic range estimated from the reference image.
+  double lo = a.data()[0], hi = a.data()[0];
+  for (float p : a.span()) {
+    lo = std::min(lo, double(p));
+    hi = std::max(hi, double(p));
+  }
+  const double range = std::max(hi - lo, 1e-9);
+  const double c1 = (0.01 * range) * (0.01 * range);
+  const double c2 = (0.03 * range) * (0.03 * range);
+  return ((2.0 * m.mean_a * m.mean_b + c1) * (2.0 * m.cov + c2)) /
+         ((m.mean_a * m.mean_a + m.mean_b * m.mean_b + c1) *
+          (m.var_a + m.var_b + c2));
+}
+
+double pearson_correlation(const Image& a, const Image& b) {
+  const Moments m = moments(a, b);
+  const double denom = std::sqrt(m.var_a * m.var_b);
+  return denom > 0.0 ? m.cov / denom : 0.0;
+}
+
+double material_fraction(const Volume& vol, float threshold) {
+  if (vol.size() == 0) return 0.0;
+  std::size_t count = 0;
+  for (float p : vol.span()) {
+    if (p >= threshold) ++count;
+  }
+  return double(count) / double(vol.size());
+}
+
+double shell_porosity(const Volume& vol, float threshold, double r0,
+                      double r1) {
+  assert(r0 < r1);
+  const std::size_t n = vol.nx();
+  std::size_t total = 0, material = 0;
+  for (std::size_t z = 0; z < vol.nz(); ++z) {
+    for (std::size_t y = 0; y < vol.ny(); ++y) {
+      const double v = 2.0 * (double(y) + 0.5) / double(n) - 1.0;
+      for (std::size_t x = 0; x < n; ++x) {
+        const double u = 2.0 * (double(x) + 0.5) / double(n) - 1.0;
+        const double r = std::sqrt(u * u + v * v);
+        if (r < r0 || r > r1) continue;
+        ++total;
+        if (vol.at(z, y, x) >= threshold) ++material;
+      }
+    }
+  }
+  return total == 0 ? 0.0 : 1.0 - double(material) / double(total);
+}
+
+double surface_density(const Volume& vol, float threshold) {
+  const std::size_t nz = vol.nz(), ny = vol.ny(), nx = vol.nx();
+  std::size_t faces = 0, material = 0;
+  auto solid = [&](std::size_t z, std::size_t y, std::size_t x) {
+    return vol.at(z, y, x) >= threshold;
+  };
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        if (!solid(z, y, x)) continue;
+        ++material;
+        if (x + 1 < nx && !solid(z, y, x + 1)) ++faces;
+        if (x > 0 && !solid(z, y, x - 1)) ++faces;
+        if (y + 1 < ny && !solid(z, y + 1, x)) ++faces;
+        if (y > 0 && !solid(z, y - 1, x)) ++faces;
+        if (z + 1 < nz && !solid(z + 1, y, x)) ++faces;
+        if (z > 0 && !solid(z - 1, y, x)) ++faces;
+      }
+    }
+  }
+  return material == 0 ? 0.0 : double(faces) / double(material);
+}
+
+double vertical_dispersion(const Volume& vol, float threshold) {
+  const std::size_t nz = vol.nz(), ny = vol.ny(), nx = vol.nx();
+  double total = 0.0;
+  std::size_t columns = 0;
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      double sum = 0.0, sum_z = 0.0, sum_z2 = 0.0;
+      for (std::size_t z = 0; z < nz; ++z) {
+        if (vol.at(z, y, x) >= threshold) {
+          sum += 1.0;
+          sum_z += double(z);
+          sum_z2 += double(z) * double(z);
+        }
+      }
+      if (sum < 2.0) continue;
+      const double mean = sum_z / sum;
+      const double var = sum_z2 / sum - mean * mean;
+      total += std::sqrt(std::max(var, 0.0)) / double(nz);
+      ++columns;
+    }
+  }
+  return columns == 0 ? 0.0 : total / double(columns);
+}
+
+}  // namespace alsflow::tomo

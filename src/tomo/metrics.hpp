@@ -1,0 +1,47 @@
+// Reconstruction-quality and morphology metrics.
+//
+// Quality metrics (RMSE/PSNR/SSIM/correlation) validate reconstructions
+// against phantom ground truth and quantify the paper's streaming-vs-file
+// quality trade-off. Morphology metrics (porosity, specific surface,
+// vertical dispersion) drive the feather case-study comparison.
+#pragma once
+
+#include <cstddef>
+
+#include "tomo/image.hpp"
+
+namespace alsflow::tomo {
+
+double rmse(const Image& a, const Image& b);
+double rmse(const Volume& a, const Volume& b);
+
+// Peak signal-to-noise ratio in dB, with the peak taken from `reference`.
+double psnr(const Image& reference, const Image& test);
+
+// Global structural similarity (single-window SSIM over the whole image;
+// adequate for ranking reconstruction quality).
+double ssim_global(const Image& a, const Image& b);
+
+double pearson_correlation(const Image& a, const Image& b);
+
+// --- Morphology (case studies) ---
+
+// Fraction of voxels with value >= threshold (material fraction).
+double material_fraction(const Volume& vol, float threshold);
+
+// Porosity inside a cylindrical shell r in [r0, r1] (normalized coords):
+// 1 - material fraction within the shell. The feather comparison looks at
+// the barbule shell around the rachis.
+double shell_porosity(const Volume& vol, float threshold, double r0,
+                      double r1);
+
+// Specific surface proxy: count of 6-neighbour material/void face pairs per
+// material voxel. Coiled fibers pack more surface per volume.
+double surface_density(const Volume& vol, float threshold);
+
+// Vertical dispersion of material along z per (x, y) column, averaged over
+// columns containing material. Coiled barbules spread over z; straight ones
+// stay planar.
+double vertical_dispersion(const Volume& vol, float threshold);
+
+}  // namespace alsflow::tomo

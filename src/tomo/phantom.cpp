@@ -1,0 +1,247 @@
+#include "tomo/phantom.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace alsflow::tomo {
+
+const std::vector<Ellipse>& shepp_logan_ellipses() {
+  // Modified Shepp-Logan (Toft 1996): higher soft-tissue contrast.
+  static const std::vector<Ellipse> ellipses = {
+      {0.0, 0.0, 0.69, 0.92, 0.0, 1.0},
+      {0.0, -0.0184, 0.6624, 0.874, 0.0, -0.8},
+      {0.22, 0.0, 0.11, 0.31, -18.0, -0.2},
+      {-0.22, 0.0, 0.16, 0.41, 18.0, -0.2},
+      {0.0, 0.35, 0.21, 0.25, 0.0, 0.1},
+      {0.0, 0.1, 0.046, 0.046, 0.0, 0.1},
+      {0.0, -0.1, 0.046, 0.046, 0.0, 0.1},
+      {-0.08, -0.605, 0.046, 0.023, 0.0, 0.1},
+      {0.0, -0.605, 0.023, 0.023, 0.0, 0.1},
+      {0.06, -0.605, 0.023, 0.046, 0.0, 0.1},
+  };
+  return ellipses;
+}
+
+Image rasterize(const std::vector<Ellipse>& ellipses, std::size_t n) {
+  Image img(n, n);
+  for (const auto& e : ellipses) {
+    const double phi = e.phi_deg * M_PI / 180.0;
+    const double cp = std::cos(phi), sp = std::sin(phi);
+    for (std::size_t y = 0; y < n; ++y) {
+      // Map row y to v with +v up (matches the usual phantom orientation).
+      const double v = 1.0 - 2.0 * (double(y) + 0.5) / double(n);
+      for (std::size_t x = 0; x < n; ++x) {
+        const double u = 2.0 * (double(x) + 0.5) / double(n) - 1.0;
+        const double du = u - e.x0, dv = v - e.y0;
+        const double ur = du * cp + dv * sp;
+        const double vr = -du * sp + dv * cp;
+        if ((ur * ur) / (e.a * e.a) + (vr * vr) / (e.b * e.b) <= 1.0) {
+          img.at(y, x) += float(e.value);
+        }
+      }
+    }
+  }
+  return img;
+}
+
+Image shepp_logan(std::size_t n) { return rasterize(shepp_logan_ellipses(), n); }
+
+Image analytic_sinogram(const std::vector<Ellipse>& ellipses,
+                        const Geometry& geo) {
+  Image sino(geo.n_angles, geo.n_det);
+  const double center = geo.center_or_default();
+  // Detector bin t maps to offset s in [-1, 1]: s = (t - center) * (2 / n_det).
+  const double scale = 2.0 / double(geo.n_det);
+  for (std::size_t a = 0; a < geo.n_angles; ++a) {
+    const double theta = geo.angle(a);
+    const double ct = std::cos(theta), st = std::sin(theta);
+    for (const auto& e : ellipses) {
+      const double phi = e.phi_deg * M_PI / 180.0;
+      const double gamma = theta - phi;
+      const double cg = std::cos(gamma), sg = std::sin(gamma);
+      const double s2 = e.a * e.a * cg * cg + e.b * e.b * sg * sg;
+      const double proj_center = e.x0 * ct + e.y0 * st;
+      for (std::size_t t = 0; t < geo.n_det; ++t) {
+        const double s = (double(t) - center) * scale;
+        const double tau = s - proj_center;
+        const double d = s2 - tau * tau;
+        if (d > 0.0) {
+          sino.at(a, t) += float(2.0 * e.value * e.a * e.b * std::sqrt(d) / s2);
+        }
+      }
+    }
+  }
+  return sino;
+}
+
+const std::vector<Ellipsoid>& shepp_logan_ellipsoids() {
+  // Kak-Slaney 3-D head phantom, with the modified contrast values.
+  static const std::vector<Ellipsoid> ellipsoids = {
+      {0.0, 0.0, 0.0, 0.69, 0.92, 0.81, 0.0, 1.0},
+      {0.0, -0.0184, 0.0, 0.6624, 0.874, 0.78, 0.0, -0.8},
+      {0.22, 0.0, 0.0, 0.11, 0.31, 0.22, -18.0, -0.2},
+      {-0.22, 0.0, 0.0, 0.16, 0.41, 0.28, 18.0, -0.2},
+      {0.0, 0.35, -0.15, 0.21, 0.25, 0.41, 0.0, 0.1},
+      {0.0, 0.1, 0.25, 0.046, 0.046, 0.05, 0.0, 0.1},
+      {0.0, -0.1, 0.25, 0.046, 0.046, 0.05, 0.0, 0.1},
+      {-0.08, -0.605, 0.0, 0.046, 0.023, 0.05, 0.0, 0.1},
+      {0.0, -0.605, 0.0, 0.023, 0.023, 0.02, 0.0, 0.1},
+      {0.06, -0.605, 0.0, 0.023, 0.046, 0.02, 0.0, 0.1},
+  };
+  return ellipsoids;
+}
+
+Volume shepp_logan_3d(std::size_t n) {
+  Volume vol(n, n, n);
+  for (const auto& e : shepp_logan_ellipsoids()) {
+    const double phi = e.phi_deg * M_PI / 180.0;
+    const double cp = std::cos(phi), sp = std::sin(phi);
+    for (std::size_t z = 0; z < n; ++z) {
+      const double w = 2.0 * (double(z) + 0.5) / double(n) - 1.0;
+      const double dw = w - e.z0;
+      const double wz = (dw * dw) / (e.c * e.c);
+      if (wz > 1.0) continue;
+      for (std::size_t y = 0; y < n; ++y) {
+        const double v = 1.0 - 2.0 * (double(y) + 0.5) / double(n);
+        for (std::size_t x = 0; x < n; ++x) {
+          const double u = 2.0 * (double(x) + 0.5) / double(n) - 1.0;
+          const double du = u - e.x0, dv = v - e.y0;
+          const double ur = du * cp + dv * sp;
+          const double vr = -du * sp + dv * cp;
+          if ((ur * ur) / (e.a * e.a) + (vr * vr) / (e.b * e.b) + wz <= 1.0) {
+            vol.at(z, y, x) += float(e.value);
+          }
+        }
+      }
+    }
+  }
+  return vol;
+}
+
+namespace {
+
+// Add a solid sphere of radius r at (cx, cy, cz) in normalized coords.
+void add_sphere(Volume& vol, double cx, double cy, double cz, double r,
+                float value) {
+  const std::size_t n = vol.nx();
+  auto to_idx = [n](double c) {
+    return std::ptrdiff_t((c + 1.0) * 0.5 * double(n));
+  };
+  const auto zi0 = std::max<std::ptrdiff_t>(0, to_idx(cz - r) - 1);
+  const auto zi1 =
+      std::min<std::ptrdiff_t>(std::ptrdiff_t(n) - 1, to_idx(cz + r) + 1);
+  for (auto z = zi0; z <= zi1; ++z) {
+    const double w = 2.0 * (double(z) + 0.5) / double(n) - 1.0;
+    for (auto y = to_idx(cy - r) - 1; y <= to_idx(cy + r) + 1; ++y) {
+      if (y < 0 || y >= std::ptrdiff_t(n)) continue;
+      const double v = 2.0 * (double(y) + 0.5) / double(n) - 1.0;
+      for (auto x = to_idx(cx - r) - 1; x <= to_idx(cx + r) + 1; ++x) {
+        if (x < 0 || x >= std::ptrdiff_t(n)) continue;
+        const double u = 2.0 * (double(x) + 0.5) / double(n) - 1.0;
+        const double d2 = (u - cx) * (u - cx) + (v - cy) * (v - cy) +
+                          (w - cz) * (w - cz);
+        if (d2 <= r * r) {
+          vol.at(std::size_t(z), std::size_t(y), std::size_t(x)) = value;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Volume fiber_phantom(std::size_t n, FiberStyle style, std::uint64_t seed,
+                     std::size_t n_fibers, double fiber_radius) {
+  Volume vol(n, n, n);
+  Rng rng(seed);
+
+  // Central rachis: a cylinder along z of radius 0.1.
+  for (std::size_t z = 0; z < n; ++z) {
+    for (std::size_t y = 0; y < n; ++y) {
+      const double v = 2.0 * (double(y) + 0.5) / double(n) - 1.0;
+      for (std::size_t x = 0; x < n; ++x) {
+        const double u = 2.0 * (double(x) + 0.5) / double(n) - 1.0;
+        if (u * u + v * v <= 0.1 * 0.1) vol.at(z, y, x) = 0.9f;
+      }
+    }
+  }
+
+  // Barbules: thin fibers radiating from the rachis. Straight style keeps a
+  // constant direction per fiber; coiled style winds a helix around the
+  // radial axis (sandgrouse water-storing morphology).
+  const double step = 2.0 / double(n);
+  for (std::size_t f = 0; f < n_fibers; ++f) {
+    const double angle0 = rng.uniform(0.0, 2.0 * M_PI);
+    const double z0 = rng.uniform(-0.7, 0.7);
+    const double coil_freq = rng.uniform(18.0, 26.0);
+    const double coil_amp = 0.05;
+    // March along the fiber length, stamping spheres (dense polyline).
+    for (double s = 0.1; s < 0.85; s += step * 0.5) {
+      double cx = s * std::cos(angle0);
+      double cy = s * std::sin(angle0);
+      double cz = z0;
+      if (style == FiberStyle::Coiled) {
+        // Helix around the radial direction: offset in the (tangent, z)
+        // plane rotating with arc length.
+        const double phase = coil_freq * s;
+        const double tx = -std::sin(angle0), ty = std::cos(angle0);
+        cx += coil_amp * std::cos(phase) * tx;
+        cy += coil_amp * std::cos(phase) * ty;
+        cz += coil_amp * std::sin(phase);
+      }
+      if (cx * cx + cy * cy + cz * cz > 0.95 * 0.95) break;
+      add_sphere(vol, cx, cy, cz, fiber_radius, 0.6f);
+    }
+  }
+  return vol;
+}
+
+Volume proppant_phantom(std::size_t n, std::uint64_t seed,
+                        std::size_t n_spheres, double gap) {
+  return proppant_phantom_at(n, seed, 0.0, n_spheres, gap);
+}
+
+Volume proppant_phantom_at(std::size_t n, std::uint64_t seed, double t,
+                           std::size_t n_spheres, double gap) {
+  Volume vol(n, n, n);
+  Rng rng(seed);
+
+  // Creep: the unpropped aperture closes with time; embedment pulls the
+  // proppant centers toward the fracture midplane.
+  const double creep = 0.4 * t;
+  const double embed = 0.3 * t;
+
+  // Two shale half-spaces with rough walls, separated by the fracture.
+  const double half_gap = (gap / 2.0) * (1.0 - creep);
+  for (std::size_t z = 0; z < n; ++z) {
+    const double w = 2.0 * (double(z) + 0.5) / double(n) - 1.0;
+    for (std::size_t y = 0; y < n; ++y) {
+      const double v = 2.0 * (double(y) + 0.5) / double(n) - 1.0;
+      // Gentle sinusoidal wall roughness.
+      const double wall =
+          half_gap + 0.03 * std::sin(7.0 * v) * std::cos(5.0 * w);
+      for (std::size_t x = 0; x < n; ++x) {
+        const double u = 2.0 * (double(x) + 0.5) / double(n) - 1.0;
+        if (u * u + v * v + w * w > 0.95 * 0.95) continue;  // sample holder
+        if (std::abs(u) > wall) vol.at(z, y, x) = 0.5f;     // shale matrix
+      }
+    }
+  }
+
+  // Proppant: dense ceramic spheres inside the fracture aperture. The
+  // same RNG stream at every t keeps sphere identity across time steps;
+  // embedment draws them toward the midplane as the walls converge.
+  const double base_half_gap = gap / 2.0;
+  for (std::size_t i = 0; i < n_spheres; ++i) {
+    const double r = rng.uniform(0.04, 0.07);
+    double cx = rng.uniform(-base_half_gap + r, base_half_gap - r);
+    cx *= 1.0 - embed;
+    const double cy = rng.uniform(-0.7, 0.7);
+    const double cz = rng.uniform(-0.7, 0.7);
+    add_sphere(vol, cx, cy, cz, r, 1.0f);
+  }
+  return vol;
+}
+
+}  // namespace alsflow::tomo

@@ -1,0 +1,80 @@
+// Synthetic specimens ("phantoms") with known ground truth.
+//
+// Three families:
+//  * Shepp-Logan (2-D ellipses / 3-D ellipsoids) — the standard CT test
+//    object. Ellipses also have an analytic Radon transform, used to
+//    validate the numeric projector.
+//  * Fiber phantoms — procedural feather microstructure for the paper's
+//    case study 1 (chicken: straight barbules; sandgrouse: coiled,
+//    water-storing barbules).
+//  * Proppant phantom — spheres propping a fracture between two rock
+//    half-spaces, for case study 2 (shale-proppant micro-CT retrospective).
+//
+// All phantoms live on the unit disk: pixel (y, x) maps to
+// (u, v) in [-1, 1]^2 and values are linear attenuation coefficients.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tomo/geometry.hpp"
+#include "tomo/image.hpp"
+
+namespace alsflow::tomo {
+
+struct Ellipse {
+  double x0, y0;    // center in [-1, 1]
+  double a, b;      // semi-axes
+  double phi_deg;   // rotation (degrees, CCW)
+  double value;     // additive attenuation
+};
+
+// The modified (Toft) Shepp-Logan ellipse set.
+const std::vector<Ellipse>& shepp_logan_ellipses();
+
+// Rasterize an ellipse set onto an n x n grid (additive).
+Image rasterize(const std::vector<Ellipse>& ellipses, std::size_t n);
+
+// Standard 2-D Shepp-Logan phantom at n x n.
+Image shepp_logan(std::size_t n);
+
+// Analytic parallel-beam sinogram of an ellipse set (exact line integrals,
+// in units where the image spans [-1, 1]).
+Image analytic_sinogram(const std::vector<Ellipse>& ellipses,
+                        const Geometry& geo);
+
+struct Ellipsoid {
+  double x0, y0, z0;
+  double a, b, c;
+  double phi_deg;  // rotation about z
+  double value;
+};
+
+const std::vector<Ellipsoid>& shepp_logan_ellipsoids();
+
+// 3-D Shepp-Logan at n^3 (Kak-Slaney ellipsoids).
+Volume shepp_logan_3d(std::size_t n);
+
+enum class FiberStyle {
+  Straight,  // chicken-like: parallel straight barbules
+  Coiled,    // sandgrouse-like: helically coiled barbules (water storage)
+};
+
+// Feather microstructure: a central rachis plus `n_fibers` barbules of
+// radius `fiber_radius` (in normalized units), straight or coiled.
+Volume fiber_phantom(std::size_t n, FiberStyle style, std::uint64_t seed,
+                     std::size_t n_fibers = 24, double fiber_radius = 0.035);
+
+// Fracture of aperture `gap` (normalized) between two rock half-spaces,
+// propped by `n_spheres` proppant spheres.
+Volume proppant_phantom(std::size_t n, std::uint64_t seed,
+                        std::size_t n_spheres = 40, double gap = 0.3);
+
+// Time-evolved propped fracture for 4-D (time-resolved) experiments
+// (paper Section 6; the in-situ creep study of its ref [31]). At
+// time t in [0, 1] the fracture creeps closed (aperture shrinks) and the
+// proppant embeds into the walls. t = 0 matches proppant_phantom.
+Volume proppant_phantom_at(std::size_t n, std::uint64_t seed, double t,
+                           std::size_t n_spheres = 40, double gap = 0.3);
+
+}  // namespace alsflow::tomo

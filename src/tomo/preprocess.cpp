@@ -1,0 +1,156 @@
+#include "tomo/preprocess.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tomo/recon.hpp"
+
+namespace alsflow::tomo {
+
+void normalize(Image& proj, const Image& dark, const Image& flat,
+               float min_transmission) {
+  assert(proj.ny() == dark.ny() && proj.nx() == dark.nx());
+  assert(proj.ny() == flat.ny() && proj.nx() == flat.nx());
+  for (std::size_t i = 0; i < proj.size(); ++i) {
+    const float d = dark.data()[i];
+    const float f = flat.data()[i];
+    const float denom = std::max(f - d, min_transmission);
+    proj.data()[i] = std::max((proj.data()[i] - d) / denom, min_transmission);
+  }
+}
+
+void minus_log(Image& proj) {
+  for (auto& p : proj.span()) {
+    assert(p > 0.0f);
+    p = -std::log(p);
+  }
+}
+
+void remove_rings(Image& sinogram, std::size_t window) {
+  assert(window % 2 == 1);
+  const std::size_t n_angles = sinogram.ny();
+  const std::size_t n_det = sinogram.nx();
+  if (n_angles == 0 || n_det == 0) return;
+
+  // Column means over angles.
+  std::vector<float> mean(n_det, 0.0f);
+  for (std::size_t a = 0; a < n_angles; ++a) {
+    auto row = sinogram.row(a);
+    for (std::size_t t = 0; t < n_det; ++t) mean[t] += row[t];
+  }
+  for (auto& m : mean) m /= float(n_angles);
+
+  // Median-smoothed means (edge-clamped window).
+  std::vector<float> smooth(n_det);
+  std::vector<float> win;
+  const std::size_t half = window / 2;
+  for (std::size_t t = 0; t < n_det; ++t) {
+    win.clear();
+    const std::size_t lo = t >= half ? t - half : 0;
+    const std::size_t hi = std::min(t + half, n_det - 1);
+    for (std::size_t i = lo; i <= hi; ++i) win.push_back(mean[i]);
+    std::nth_element(win.begin(), win.begin() + std::ptrdiff_t(win.size() / 2),
+                     win.end());
+    smooth[t] = win[win.size() / 2];
+  }
+
+  // Subtract the stripe component.
+  for (std::size_t a = 0; a < n_angles; ++a) {
+    auto row = sinogram.row(a);
+    for (std::size_t t = 0; t < n_det; ++t) row[t] -= mean[t] - smooth[t];
+  }
+}
+
+double image_entropy(const Image& img, std::size_t bins) {
+  if (img.empty()) return 0.0;
+  float lo = std::numeric_limits<float>::max();
+  float hi = std::numeric_limits<float>::lowest();
+  for (float p : img.span()) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  if (hi <= lo) return 0.0;
+  std::vector<double> hist(bins, 0.0);
+  const double scale = double(bins - 1) / double(hi - lo);
+  for (float p : img.span()) {
+    hist[std::size_t(double(p - lo) * scale)] += 1.0;
+  }
+  double entropy = 0.0;
+  const double n = double(img.size());
+  for (double h : hist) {
+    if (h > 0.0) {
+      const double p = h / n;
+      entropy -= p * std::log2(p);
+    }
+  }
+  return entropy;
+}
+
+double find_center_symmetry(const Image& sinogram, const Geometry& geo) {
+  const std::size_t n_det = geo.n_det;
+  assert(sinogram.ny() == geo.n_angles && sinogram.nx() == n_det);
+  auto first = sinogram.row(0);
+  auto last = sinogram.row(geo.n_angles - 1);
+
+  // With r(t) = last(n_det-1-t): r(t) = first(t - s) where s = 2c - (n_det-1),
+  // so the cross-correlation peak over shifts recovers s and hence c.
+  // Score by normalized cross-correlation over the overlap, then refine the
+  // peak with a parabola fit.
+  const auto max_shift = std::ptrdiff_t(n_det / 2);
+  std::vector<double> scores;
+  std::vector<std::ptrdiff_t> shifts;
+  for (std::ptrdiff_t s = -max_shift; s <= max_shift; ++s) {
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t t = 0; t < n_det; ++t) {
+      const std::ptrdiff_t rt = std::ptrdiff_t(t) - s;  // index into r
+      if (rt < 0 || rt >= std::ptrdiff_t(n_det)) continue;
+      const double a = first[t];
+      const double b = last[n_det - 1 - std::size_t(rt)];
+      dot += a * b;
+      na += a * a;
+      nb += b * b;
+    }
+    const double denom = std::sqrt(na * nb);
+    shifts.push_back(s);
+    scores.push_back(denom > 0.0 ? dot / denom : 0.0);
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[best]) best = i;
+  }
+  double s_star = double(shifts[best]);
+  if (best > 0 && best + 1 < scores.size()) {
+    // Parabolic sub-bin refinement around the peak.
+    const double y0 = scores[best - 1], y1 = scores[best], y2 = scores[best + 1];
+    const double denom = y0 - 2.0 * y1 + y2;
+    if (std::abs(denom) > 1e-12) {
+      s_star += 0.5 * (y0 - y2) / denom;
+    }
+  }
+  return (double(n_det - 1) + s_star) / 2.0;
+}
+
+double find_center(const Image& sinogram, const Geometry& geo, double lo,
+                   double hi, double step, std::size_t recon_n) {
+  assert(lo <= hi && step > 0.0);
+  double best_center = lo;
+  double best_score = std::numeric_limits<double>::max();
+  for (double c = lo; c <= hi + 1e-9; c += step) {
+    Geometry g = geo;
+    g.center = c;
+    Image recon =
+        reconstruct_fbp(sinogram, g, recon_n, FilterKind::SheppLogan);
+    const double score = image_entropy(recon);
+    if (score < best_score) {
+      best_score = score;
+      best_center = c;
+    }
+  }
+  return best_center;
+}
+
+}  // namespace alsflow::tomo

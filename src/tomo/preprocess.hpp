@@ -1,0 +1,51 @@
+// Projection preprocessing: the steps the file-based (high-quality) branch
+// runs before reconstruction, mirroring the TomoPy pipeline used at 8.3.2.
+//
+//   raw counts --normalize--> transmission --minus_log--> line integrals
+//   sinogram --remove_rings--> ring-suppressed sinogram
+//   sinogram --find_center--> rotation-axis estimate
+#pragma once
+
+#include <cstddef>
+
+#include "tomo/geometry.hpp"
+#include "tomo/image.hpp"
+
+namespace alsflow::tomo {
+
+// Flat-field correction: proj = (proj - dark) / (flat - dark), clamped to
+// [min_transmission, +inf). All images share one shape.
+void normalize(Image& proj, const Image& dark, const Image& flat,
+               float min_transmission = 1e-4f);
+
+// Beer-Lambert linearization: proj = -log(proj). Transmission must be > 0
+// (normalize() guarantees this).
+void minus_log(Image& proj);
+
+// Suppress ring artifacts: each sinogram column's mean over angles is
+// compared with a median-smoothed version (window bins wide, odd); the
+// excess — a detector-gain stripe, which reconstructs as a ring — is
+// subtracted from the column.
+void remove_rings(Image& sinogram, std::size_t window = 9);
+
+// Rotation-axis estimate from projection mirror symmetry: in a 180-degree
+// parallel scan, the final projection is (approximately) the first one
+// mirrored about the rotation axis. Cross-correlating the first row with
+// the reversed last row, with sub-bin parabolic peak refinement, yields the
+// axis directly — robust even when the axis is far off-center. This is the
+// recommended method.
+double find_center_symmetry(const Image& sinogram, const Geometry& geo);
+
+// Rotation-axis search: grid-scan candidate centers in [lo, hi] (detector
+// bin coordinates) at `step` resolution, reconstructing a downsampled slice
+// per candidate and scoring by image entropy (sharp, artifact-free
+// reconstructions have the most compact histograms). Returns the best
+// center estimate.
+double find_center(const Image& sinogram, const Geometry& geo, double lo,
+                   double hi, double step = 0.5, std::size_t recon_n = 64);
+
+// Image entropy of values histogrammed into `bins` buckets over the value
+// range (the find_center score; exposed for tests).
+double image_entropy(const Image& img, std::size_t bins = 128);
+
+}  // namespace alsflow::tomo

@@ -1,0 +1,201 @@
+#include "tomo/projector.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace alsflow::tomo {
+
+namespace {
+
+struct Trig {
+  std::vector<double> ct, st;
+  explicit Trig(const Geometry& geo) : ct(geo.n_angles), st(geo.n_angles) {
+    for (std::size_t a = 0; a < geo.n_angles; ++a) {
+      ct[a] = std::cos(geo.angle(a));
+      st[a] = std::sin(geo.angle(a));
+    }
+  }
+};
+
+// Map pixel indices to the [-1, 1] grid (+v up, matching phantom.cpp).
+inline double u_of(std::size_t x, std::size_t n) {
+  return 2.0 * (double(x) + 0.5) / double(n) - 1.0;
+}
+inline double v_of(std::size_t y, std::size_t n) {
+  return 1.0 - 2.0 * (double(y) + 0.5) / double(n);
+}
+
+}  // namespace
+
+Image forward_project(const Image& img, const Geometry& geo) {
+  const std::size_t n = img.nx();
+  Image sino(geo.n_angles, geo.n_det);
+  const Trig trig(geo);
+  const double center = geo.center_or_default();
+  const double det_spacing = 2.0 / double(geo.n_det);
+  const double h = 2.0 / double(n);
+  // Pixel mass h^2 spread over detector bins of width det_spacing.
+  const double weight = h * h / det_spacing;
+
+  // Each angle writes its own sinogram row: parallel over angles.
+  parallel::parallel_for(0, geo.n_angles, [&](std::size_t a) {
+    const double ct = trig.ct[a], st = trig.st[a];
+    auto row = sino.row(a);
+    for (std::size_t y = 0; y < img.ny(); ++y) {
+      const double v = v_of(y, n);
+      const double v_term = v * st;
+      for (std::size_t x = 0; x < img.nx(); ++x) {
+        const float val = img.at(y, x);
+        if (val == 0.0f) continue;
+        const double s = u_of(x, n) * ct + v_term;
+        const double t = s / det_spacing + center;
+        const auto t0 = std::floor(t);
+        const double frac = t - t0;
+        const auto i0 = std::ptrdiff_t(t0);
+        if (i0 >= 0 && std::size_t(i0) < geo.n_det) {
+          row[std::size_t(i0)] += float(val * weight * (1.0 - frac));
+        }
+        if (i0 + 1 >= 0 && std::size_t(i0 + 1) < geo.n_det) {
+          row[std::size_t(i0 + 1)] += float(val * weight * frac);
+        }
+      }
+    }
+  });
+  return sino;
+}
+
+Image back_project_adjoint(const Image& sino, const Geometry& geo,
+                           std::size_t n) {
+  Image img(n, n);
+  const Trig trig(geo);
+  const double center = geo.center_or_default();
+  const double det_spacing = 2.0 / double(geo.n_det);
+  const double h = 2.0 / double(n);
+  const double weight = h * h / det_spacing;
+
+  parallel::parallel_for(0, n, [&](std::size_t y) {
+    const double v = v_of(y, n);
+    for (std::size_t x = 0; x < n; ++x) {
+      const double u = u_of(x, n);
+      double acc = 0.0;
+      for (std::size_t a = 0; a < geo.n_angles; ++a) {
+        const double s = u * trig.ct[a] + v * trig.st[a];
+        const double t = s / det_spacing + center;
+        const auto t0 = std::floor(t);
+        const double frac = t - t0;
+        const auto i0 = std::ptrdiff_t(t0);
+        if (i0 >= 0 && std::size_t(i0) < geo.n_det) {
+          acc += sino.at(a, std::size_t(i0)) * weight * (1.0 - frac);
+        }
+        if (i0 + 1 >= 0 && std::size_t(i0 + 1) < geo.n_det) {
+          acc += sino.at(a, std::size_t(i0 + 1)) * weight * frac;
+        }
+      }
+      img.at(y, x) = float(acc);
+    }
+  });
+  return img;
+}
+
+namespace {
+
+// Shared inner loop of the FBP gather for one pixel row and one angle.
+inline void gather_row(const Image& sino, std::size_t a, double ct, double st,
+                       double v, std::size_t n, double center,
+                       double det_spacing, std::span<float> out_row) {
+  const std::size_t n_det = sino.nx();
+  const double v_term = v * st;
+  for (std::size_t x = 0; x < n; ++x) {
+    const double s = u_of(x, n) * ct + v_term;
+    const double t = s / det_spacing + center;
+    const auto t0 = std::floor(t);
+    const auto i0 = std::ptrdiff_t(t0);
+    if (i0 < 0 || std::size_t(i0) + 1 >= n_det) continue;
+    const double frac = t - t0;
+    const double q = sino.at(a, std::size_t(i0)) * (1.0 - frac) +
+                     sino.at(a, std::size_t(i0) + 1) * frac;
+    out_row[x] += float(q);
+  }
+}
+
+}  // namespace
+
+Image fbp_backproject(const Image& filtered_sino, const Geometry& geo,
+                      std::size_t n) {
+  Image img(n, n);
+  const Trig trig(geo);
+  const double center = geo.center_or_default();
+  const double det_spacing = 2.0 / double(geo.n_det);
+  // pi / n_angles from the angular integral; 1 / det_spacing from the
+  // frequency-domain filter discretization (see filters.hpp).
+  const double scale = M_PI / double(geo.n_angles) / det_spacing;
+
+  parallel::parallel_for(0, n, [&](std::size_t y) {
+    const double v = v_of(y, n);
+    auto out_row = img.row(y);
+    for (std::size_t a = 0; a < geo.n_angles; ++a) {
+      gather_row(filtered_sino, a, trig.ct[a], trig.st[a], v, n, center,
+                 det_spacing, out_row);
+    }
+    for (auto& p : out_row) p = float(p * scale);
+  });
+  return img;
+}
+
+void fbp_accumulate_row(Image& accum, std::span<const float> filtered_row,
+                        const Geometry& geo, std::size_t angle_index) {
+  const std::size_t n = accum.nx();
+  const double theta = geo.angle(angle_index);
+  const double ct = std::cos(theta), st = std::sin(theta);
+  const double center = geo.center_or_default();
+  const double det_spacing = 2.0 / double(geo.n_det);
+  const double scale = M_PI / double(geo.n_angles) / det_spacing;
+  const std::size_t n_det = geo.n_det;
+
+  parallel::parallel_for(0, accum.ny(), [&](std::size_t y) {
+    const double v = v_of(y, n);
+    const double v_term = v * st;
+    auto out_row = accum.row(y);
+    for (std::size_t x = 0; x < n; ++x) {
+      const double s = u_of(x, n) * ct + v_term;
+      const double t = s / det_spacing + center;
+      const auto t0 = std::floor(t);
+      const auto i0 = std::ptrdiff_t(t0);
+      if (i0 < 0 || std::size_t(i0) + 1 >= n_det) continue;
+      const double frac = t - t0;
+      const double q = filtered_row[std::size_t(i0)] * (1.0 - frac) +
+                       filtered_row[std::size_t(i0) + 1] * frac;
+      out_row[x] += float(q * scale);
+    }
+  });
+}
+
+void fbp_backproject_points(const Image& filtered_sino, const Geometry& geo,
+                            std::span<const double> us,
+                            std::span<const double> vs, std::span<float> out) {
+  assert(us.size() == vs.size() && us.size() == out.size());
+  const Trig trig(geo);
+  const double center = geo.center_or_default();
+  const double det_spacing = 2.0 / double(geo.n_det);
+  const double scale = M_PI / double(geo.n_angles) / det_spacing;
+  const std::size_t n_det = geo.n_det;
+
+  for (std::size_t i = 0; i < us.size(); ++i) {
+    double acc = 0.0;
+    for (std::size_t a = 0; a < geo.n_angles; ++a) {
+      const double s = us[i] * trig.ct[a] + vs[i] * trig.st[a];
+      const double t = s / det_spacing + center;
+      const auto t0 = std::floor(t);
+      const auto i0 = std::ptrdiff_t(t0);
+      if (i0 < 0 || std::size_t(i0) + 1 >= n_det) continue;
+      const double frac = t - t0;
+      acc += filtered_sino.at(a, std::size_t(i0)) * (1.0 - frac) +
+             filtered_sino.at(a, std::size_t(i0) + 1) * frac;
+    }
+    out[i] = float(acc * scale);
+  }
+}
+
+}  // namespace alsflow::tomo

@@ -1,0 +1,195 @@
+#include "tomo/recon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "tomo/fft.hpp"
+#include "tomo/projector.hpp"
+
+namespace alsflow::tomo {
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::FBP: return "fbp";
+    case Algorithm::Gridrec: return "gridrec";
+    case Algorithm::SIRT: return "sirt";
+    case Algorithm::MLEM: return "mlem";
+  }
+  return "?";
+}
+
+Image reconstruct_fbp(const Image& sinogram, const Geometry& geo,
+                      std::size_t n, FilterKind filter) {
+  ProjectionFilter pf(filter, geo.n_det);
+  Image filtered = sinogram;
+  pf.apply_rows(filtered);
+  return fbp_backproject(filtered, geo, n);
+}
+
+Image reconstruct_gridrec(const Image& sinogram, const Geometry& geo,
+                          std::size_t n, FilterKind filter) {
+  const std::size_t n_det = geo.n_det;
+  const std::size_t n_pad = next_pow2(2 * n_det);
+  const double center = geo.center_or_default();
+  const auto response = filter_response(filter, n_pad);
+
+  // 2-D Fourier grid, filled by splatting ramp-weighted projection spectra
+  // along their central slices (projection-slice theorem).
+  std::vector<std::complex<double>> grid(n_pad * n_pad, {0.0, 0.0});
+  std::vector<std::complex<double>> row(n_pad);
+
+  for (std::size_t a = 0; a < geo.n_angles; ++a) {
+    const double theta = geo.angle(a);
+    const double ct = std::cos(theta), st = std::sin(theta);
+    std::fill(row.begin(), row.end(), std::complex<double>(0.0, 0.0));
+    for (std::size_t t = 0; t < n_det; ++t) row[t] = double(sinogram.at(a, t));
+    fft(row, false);
+    for (std::size_t k = 0; k < n_pad; ++k) {
+      const double kf =
+          k <= n_pad / 2 ? double(k) : double(k) - double(n_pad);
+      // Shift the rotation axis to the origin (linear phase), then apply
+      // the ramp (density compensation) and any apodizing window.
+      const double phase = 2.0 * M_PI * kf * center / double(n_pad);
+      const std::complex<double> sample =
+          row[k] * std::polar(response[k], phase);
+      if (sample == std::complex<double>(0.0, 0.0)) continue;
+      // Polar position of this frequency sample on the Cartesian grid.
+      const double gx = kf * ct;
+      const double gy = kf * st;
+      const double fx = std::floor(gx), fy = std::floor(gy);
+      const double wx = gx - fx, wy = gy - fy;
+      const auto idx = [n_pad](double f) {
+        auto i = std::ptrdiff_t(f);
+        i %= std::ptrdiff_t(n_pad);
+        if (i < 0) i += std::ptrdiff_t(n_pad);
+        return std::size_t(i);
+      };
+      const std::size_t x0 = idx(fx), x1 = idx(fx + 1.0);
+      const std::size_t y0 = idx(fy), y1 = idx(fy + 1.0);
+      grid[y0 * n_pad + x0] += sample * ((1.0 - wx) * (1.0 - wy));
+      grid[y0 * n_pad + x1] += sample * (wx * (1.0 - wy));
+      grid[y1 * n_pad + x0] += sample * ((1.0 - wx) * wy);
+      grid[y1 * n_pad + x1] += sample * (wx * wy);
+    }
+  }
+
+  fft2(grid, n_pad, n_pad, true);
+
+  // Sample the periodic inverse transform at the output pixel positions.
+  // Pixel coordinates are in detector-spacing units about the origin.
+  Image img(n, n);
+  const double det_spacing = 2.0 / double(n_det);
+  const double scale = M_PI * double(n_pad) / double(geo.n_angles) / det_spacing;
+  const auto wrap = [n_pad](std::ptrdiff_t i) {
+    i %= std::ptrdiff_t(n_pad);
+    if (i < 0) i += std::ptrdiff_t(n_pad);
+    return std::size_t(i);
+  };
+  for (std::size_t y = 0; y < n; ++y) {
+    const double v = (1.0 - 2.0 * (double(y) + 0.5) / double(n)) / det_spacing;
+    for (std::size_t x = 0; x < n; ++x) {
+      const double u =
+          (2.0 * (double(x) + 0.5) / double(n) - 1.0) / det_spacing;
+      const double fx = std::floor(u), fy = std::floor(v);
+      const double wx = u - fx, wy = v - fy;
+      const std::size_t x0 = wrap(std::ptrdiff_t(fx));
+      const std::size_t x1 = wrap(std::ptrdiff_t(fx) + 1);
+      const std::size_t y0 = wrap(std::ptrdiff_t(fy));
+      const std::size_t y1 = wrap(std::ptrdiff_t(fy) + 1);
+      const double val =
+          grid[y0 * n_pad + x0].real() * (1.0 - wx) * (1.0 - wy) +
+          grid[y0 * n_pad + x1].real() * wx * (1.0 - wy) +
+          grid[y1 * n_pad + x0].real() * (1.0 - wx) * wy +
+          grid[y1 * n_pad + x1].real() * wx * wy;
+      img.at(y, x) = float(val * scale);
+    }
+  }
+  return img;
+}
+
+namespace {
+
+constexpr float kEps = 1e-6f;
+
+void clamp_non_negative(Image& img) {
+  for (auto& p : img.span()) p = std::max(p, 0.0f);
+}
+
+}  // namespace
+
+Image reconstruct_sirt(const Image& sinogram, const Geometry& geo,
+                       std::size_t n, int n_iterations, bool non_negative) {
+  // Row/column sum preconditioners: R = 1/(A 1), C = 1/(A^T 1).
+  Image ones_img(n, n, 1.0f);
+  Image row_sums = forward_project(ones_img, geo);
+  Image ones_sino(geo.n_angles, geo.n_det, 1.0f);
+  Image col_sums = back_project_adjoint(ones_sino, geo, n);
+
+  Image x(n, n, 0.0f);
+  for (int it = 0; it < n_iterations; ++it) {
+    Image residual = forward_project(x, geo);
+    for (std::size_t i = 0; i < residual.size(); ++i) {
+      const float rs = row_sums.data()[i];
+      residual.data()[i] = rs > kEps
+                               ? (sinogram.data()[i] - residual.data()[i]) / rs
+                               : 0.0f;
+    }
+    Image update = back_project_adjoint(residual, geo, n);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const float cs = col_sums.data()[i];
+      if (cs > kEps) x.data()[i] += update.data()[i] / cs;
+    }
+    if (non_negative) clamp_non_negative(x);
+  }
+  return x;
+}
+
+Image reconstruct_mlem(const Image& sinogram, const Geometry& geo,
+                       std::size_t n, int n_iterations) {
+  Image ones_sino(geo.n_angles, geo.n_det, 1.0f);
+  Image sens = back_project_adjoint(ones_sino, geo, n);  // A^T 1
+
+  Image x(n, n, 1.0f);
+  for (int it = 0; it < n_iterations; ++it) {
+    Image proj = forward_project(x, geo);
+    for (std::size_t i = 0; i < proj.size(); ++i) {
+      const float p = proj.data()[i];
+      const float b = std::max(sinogram.data()[i], 0.0f);
+      proj.data()[i] = p > kEps ? b / p : 0.0f;
+    }
+    Image ratio = back_project_adjoint(proj, geo, n);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const float s = sens.data()[i];
+      x.data()[i] = s > kEps ? x.data()[i] * ratio.data()[i] / s : 0.0f;
+    }
+  }
+  return x;
+}
+
+Image reconstruct_slice(const Image& sinogram, const Geometry& geo,
+                        std::size_t n, const ReconOptions& opts) {
+  Image out;
+  switch (opts.algorithm) {
+    case Algorithm::FBP:
+      out = reconstruct_fbp(sinogram, geo, n, opts.filter);
+      break;
+    case Algorithm::Gridrec:
+      out = reconstruct_gridrec(sinogram, geo, n, opts.filter);
+      break;
+    case Algorithm::SIRT:
+      out = reconstruct_sirt(sinogram, geo, n, opts.n_iterations,
+                             opts.non_negative);
+      break;
+    case Algorithm::MLEM:
+      out = reconstruct_mlem(sinogram, geo, n, opts.n_iterations);
+      break;
+  }
+  if (opts.non_negative && opts.algorithm != Algorithm::SIRT) {
+    clamp_non_negative(out);
+  }
+  return out;
+}
+
+}  // namespace alsflow::tomo

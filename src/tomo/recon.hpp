@@ -1,0 +1,46 @@
+// Slice reconstruction algorithms.
+//
+// The file-based workflow in the paper uses TomoPy (gridrec by default,
+// iterative methods for quality); the streaming branch uses one-shot
+// filtered back-projection. We provide the same menu:
+//   * FBP     — filter + back-project, O(n_angles * n^2) per slice.
+//   * Gridrec — direct Fourier reconstruction (projection-slice theorem
+//               with ramp density compensation), O(n^2 log n) per slice.
+//   * SIRT    — simultaneous iterative reconstruction, matched A / A^T.
+//   * MLEM    — multiplicative EM (non-negative data).
+#pragma once
+
+#include <cstddef>
+
+#include "tomo/filters.hpp"
+#include "tomo/geometry.hpp"
+#include "tomo/image.hpp"
+
+namespace alsflow::tomo {
+
+enum class Algorithm { FBP, Gridrec, SIRT, MLEM };
+
+const char* algorithm_name(Algorithm a);
+
+struct ReconOptions {
+  Algorithm algorithm = Algorithm::FBP;
+  FilterKind filter = FilterKind::SheppLogan;  // FBP / Gridrec
+  int n_iterations = 30;                       // SIRT / MLEM
+  bool non_negative = false;                   // clamp negatives (SIRT/FBP)
+};
+
+// Reconstruct an n x n slice from a sinogram (n_angles x n_det).
+Image reconstruct_slice(const Image& sinogram, const Geometry& geo,
+                        std::size_t n, const ReconOptions& opts = {});
+
+Image reconstruct_fbp(const Image& sinogram, const Geometry& geo,
+                      std::size_t n, FilterKind filter);
+Image reconstruct_gridrec(const Image& sinogram, const Geometry& geo,
+                          std::size_t n, FilterKind filter);
+Image reconstruct_sirt(const Image& sinogram, const Geometry& geo,
+                       std::size_t n, int n_iterations,
+                       bool non_negative = true);
+Image reconstruct_mlem(const Image& sinogram, const Geometry& geo,
+                       std::size_t n, int n_iterations);
+
+}  // namespace alsflow::tomo

@@ -1,0 +1,76 @@
+// Streaming reconstructor — the streamtomocupy-equivalent kernel behind the
+// paper's <10 s preview path.
+//
+// Frames (one 2-D projection per rotation angle) arrive one at a time while
+// the scan is still running. Each frame is flat-field-corrected, -log'd and
+// ramp-filtered immediately — that work overlaps acquisition, exactly the
+// asynchronous-processing trick streamtomocupy uses. When the acquisition
+// completes, finalize() back-projects:
+//   * the central XY slice (full plane),
+//   * one XZ and one YZ orthogonal cut (single lines per detector row),
+// producing the three-slice preview the beamline pushes back to ImageJ.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tomo/filters.hpp"
+#include "tomo/geometry.hpp"
+#include "tomo/image.hpp"
+
+namespace alsflow::tomo {
+
+struct StreamingConfig {
+  Geometry geo;                 // angles / detector width / center
+  std::size_t n_rows = 0;       // detector rows per frame (slices)
+  std::size_t recon_n = 0;      // output slice resolution (default n_det)
+  FilterKind filter = FilterKind::SheppLogan;
+  bool normalize = true;        // apply dark/flat + minus_log per frame
+
+  std::size_t recon_width() const { return recon_n ? recon_n : geo.n_det; }
+};
+
+// Three orthogonal preview slices through the volume center.
+struct OrthoPreview {
+  Image xy;  // (recon_n x recon_n), slice at z = n_rows/2
+  Image xz;  // (n_rows x recon_n), cut at y = center
+  Image yz;  // (n_rows x recon_n), cut at x = center
+};
+
+class StreamingReconstructor {
+ public:
+  explicit StreamingReconstructor(StreamingConfig config);
+
+  // Reference fields for flat-field correction (required if
+  // config.normalize). Shapes: (n_rows x n_det).
+  void set_reference(const Image& dark, const Image& flat);
+
+  // Ingest one frame: shape (n_rows x n_det), projection at angle index a.
+  // Frames may arrive in any order; duplicates overwrite.
+  void on_frame(std::size_t angle_index, const Image& frame);
+
+  std::size_t frames_received() const { return frames_received_; }
+  bool complete() const { return frames_received_ >= config_.geo.n_angles; }
+
+  // Back-project the three preview slices. Valid once complete() (partial
+  // previews from fewer angles are allowed and simply noisier).
+  OrthoPreview finalize() const;
+
+  // Full-plane reconstruction of detector row z (for full-volume recon).
+  Image reconstruct_row(std::size_t z) const;
+
+  // Access the cached, filtered sinogram for detector row z.
+  const Image& filtered_sinogram(std::size_t z) const { return sinos_[z]; }
+
+ private:
+  StreamingConfig config_;
+  ProjectionFilter filter_;
+  Image dark_, flat_;
+  bool have_reference_ = false;
+  // One sinogram per detector row; rows filled as frames arrive.
+  std::vector<Image> sinos_;
+  std::vector<bool> seen_;
+  std::size_t frames_received_ = 0;
+};
+
+}  // namespace alsflow::tomo

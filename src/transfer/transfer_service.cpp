@@ -1,0 +1,112 @@
+#include "transfer/transfer_service.hpp"
+
+#include "common/log.hpp"
+
+namespace alsflow::transfer {
+
+void TransferService::add_route(const std::string& src_name,
+                                const std::string& dst_name, net::Link* link) {
+  routes_[{src_name, dst_name}] = link;
+}
+
+net::Link* TransferService::route(const std::string& src,
+                                  const std::string& dst) const {
+  auto it = routes_.find({src, dst});
+  return it == routes_.end() ? nullptr : it->second;
+}
+
+sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
+  TransferOutcome outcome;
+  outcome.label = spec.label;
+  outcome.submitted_at = eng_.now();
+
+  if (spec.src == nullptr || spec.dst == nullptr) {
+    outcome.status = Error::make("invalid_argument", "null endpoint");
+    outcome.finished_at = eng_.now();
+    history_.push_back(outcome);
+    co_return outcome;
+  }
+  net::Link* link = route(spec.src->name(), spec.dst->name());
+  if (link == nullptr) {
+    outcome.status = Error::make(
+        "no_route", spec.src->name() + " -> " + spec.dst->name());
+    outcome.finished_at = eng_.now();
+    history_.push_back(outcome);
+    co_return outcome;
+  }
+
+  co_await sim::delay(eng_, tuning_.per_task_overhead);
+
+  Error first_error{"", ""};
+  for (const auto& file : spec.files) {
+    auto stat = spec.src->stat(file.src_path);
+    if (!stat.ok()) {
+      ++outcome.files_failed;
+      if (first_error.code.empty()) first_error = stat.error();
+      continue;
+    }
+    const Bytes size = stat.value().size;
+    const std::uint64_t checksum = stat.value().checksum;
+
+    bool file_ok = false;
+    for (int attempt = 0; attempt <= tuning_.max_retries; ++attempt) {
+      if (attempt > 0) {
+        ++outcome.retries;
+        co_await sim::delay(eng_, tuning_.retry_delay);
+      }
+      co_await sim::delay(eng_, tuning_.per_file_overhead);
+      co_await link->send(size);
+
+      if (transient_failure_rate_ > 0.0 &&
+          rng_.bernoulli(transient_failure_rate_)) {
+        log_warn("globus") << spec.label << ": transient fault moving "
+                           << file.src_path << " (attempt " << attempt << ")";
+        continue;  // nothing landed; retry
+      }
+
+      const bool corrupted =
+          corruption_rate_ > 0.0 && rng_.bernoulli(corruption_rate_);
+      // The destination write happens regardless; corruption is detected
+      // (and the file re-sent) only when checksum verification is on.
+      const std::uint64_t landed_checksum = corrupted ? ~checksum : checksum;
+      Status put = spec.dst->put(file.dst_path, size, landed_checksum,
+                                 eng_.now());
+      if (!put.ok()) {
+        if (first_error.code.empty()) first_error = put.error();
+        break;  // permission/capacity: permanent, no retry
+      }
+      if (spec.verify_checksum) {
+        if (tuning_.checksum_rate > 0.0) {
+          co_await sim::delay(eng_, double(size) / tuning_.checksum_rate);
+        }
+        if (landed_checksum != checksum) {
+          log_warn("globus") << spec.label << ": checksum mismatch on "
+                             << file.dst_path << " (attempt " << attempt
+                             << ")";
+          continue;  // corrupted copy stays until overwritten by the retry
+        }
+      }
+      file_ok = true;
+      outcome.bytes_moved += size;
+      break;
+    }
+    if (file_ok) {
+      ++outcome.files_ok;
+    } else {
+      ++outcome.files_failed;
+      if (first_error.code.empty()) {
+        first_error = Error::make("retries_exhausted", file.src_path);
+      }
+    }
+  }
+
+  if (outcome.files_failed > 0) {
+    outcome.status = first_error;
+  }
+  outcome.finished_at = eng_.now();
+  total_bytes_ += outcome.bytes_moved;
+  history_.push_back(outcome);
+  co_return outcome;
+}
+
+}  // namespace alsflow::transfer

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "access/render.hpp"
+#include "access/tiled.hpp"
+#include "catalog/scicat.hpp"
+#include "tomo/metrics.hpp"
+#include "tomo/phantom.hpp"
+
+namespace alsflow {
+namespace {
+
+TEST(SciCatalog, IngestAndGet) {
+  catalog::SciCatalog cat;
+  auto pid = cat.ingest(catalog::DatasetType::Raw, "/raw/s1.ah5", "als-data",
+                        100.0, {{"sample", "feather"}, {"proposal", "P-9"}});
+  auto rec = cat.get(pid);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().source_path, "/raw/s1.ah5");
+  EXPECT_EQ(rec.value().fields.at("sample"), "feather");
+  EXPECT_FALSE(cat.get("als/99999999").ok());
+}
+
+TEST(SciCatalog, FieldSearch) {
+  catalog::SciCatalog cat;
+  cat.ingest(catalog::DatasetType::Raw, "/a", "e", 0.0,
+             {{"proposal", "P-1"}, {"sample", "chicken"}});
+  cat.ingest(catalog::DatasetType::Raw, "/b", "e", 1.0,
+             {{"proposal", "P-1"}, {"sample", "sandgrouse"}});
+  cat.ingest(catalog::DatasetType::Raw, "/c", "e", 2.0,
+             {{"proposal", "P-2"}, {"sample", "shale"}});
+  EXPECT_EQ(cat.search("proposal", "P-1").size(), 2u);
+  EXPECT_EQ(cat.search("sample", "shale").size(), 1u);
+  EXPECT_EQ(cat.search("sample", "nothing").size(), 0u);
+}
+
+TEST(SciCatalog, TextSearch) {
+  catalog::SciCatalog cat;
+  cat.ingest(catalog::DatasetType::Raw, "/a", "e", 0.0,
+             {{"sample", "sandgrouse feather"}});
+  cat.ingest(catalog::DatasetType::Raw, "/b", "e", 1.0,
+             {{"sample", "chicken feather"}});
+  EXPECT_EQ(cat.search_text("feather").size(), 2u);
+  EXPECT_EQ(cat.search_text("sandgrouse").size(), 1u);
+}
+
+TEST(SciCatalog, ProvenanceChain) {
+  catalog::SciCatalog cat;
+  auto raw = cat.ingest(catalog::DatasetType::Raw, "/raw/s1", "e", 0.0, {});
+  auto d1 = cat.ingest(catalog::DatasetType::Derived, "/recon/nersc/s1", "e",
+                       100.0, {{"pipeline", "nersc_recon_flow"}}, raw);
+  auto d2 = cat.ingest(catalog::DatasetType::Derived, "/recon/alcf/s1", "e",
+                       110.0, {{"pipeline", "alcf_recon_flow"}}, raw);
+  auto children = cat.derived_from(raw);
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0].pid, d1);
+  EXPECT_EQ(children[1].pid, d2);
+  EXPECT_EQ(cat.get(d1).value().parent_pid, raw);
+}
+
+TEST(TiledService, ServesSlicesAndCountsBytes) {
+  access::TiledService tiled;
+  auto vol = tomo::shepp_logan_3d(32);
+  tiled.register_volume(
+      "scan-1",
+      std::make_shared<data::MultiscaleVolume>(
+          data::MultiscaleVolume::build(vol, 3, 8)));
+  EXPECT_TRUE(tiled.has("scan-1"));
+
+  auto slice = tiled.slice("scan-1", 0, 0, 16);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_DOUBLE_EQ(tomo::rmse(slice.value(), vol.slice_image(16)), 0.0);
+  EXPECT_EQ(tiled.bytes_served(), Bytes(32 * 32 * 4));
+  EXPECT_EQ(tiled.requests(), 1u);
+
+  EXPECT_FALSE(tiled.slice("nope", 0, 0, 0).ok());
+}
+
+TEST(TiledService, PreviewUsesCoarsestLevel) {
+  access::TiledService tiled;
+  auto vol = tomo::shepp_logan_3d(32);
+  tiled.register_volume(
+      "scan-1",
+      std::make_shared<data::MultiscaleVolume>(
+          data::MultiscaleVolume::build(vol, 3, 8)));
+  auto preview = tiled.preview("scan-1");
+  ASSERT_TRUE(preview.ok());
+  EXPECT_EQ(preview.value().ny(), 8u);  // 32 -> 16 -> 8
+}
+
+TEST(Render, PgmWritesValidHeader) {
+  tomo::Image img = tomo::shepp_logan(16);
+  const std::string path = "/tmp/alsflow_preview_test.pgm";
+  ASSERT_TRUE(access::write_pgm(path, img).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {};
+  ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_STREQ(magic, "P5");
+}
+
+TEST(Render, AsciiRenderShapes) {
+  tomo::Image img = tomo::shepp_logan(64);
+  auto art = access::ascii_render(img, 32);
+  // 32 wide + newline, 16 rows (aspect corrected).
+  EXPECT_EQ(art.size(), (32u + 1) * 16);
+  // Contains both dark and bright characters.
+  EXPECT_NE(art.find(' '), std::string::npos);
+  EXPECT_NE(art.find('@'), std::string::npos);
+}
+
+TEST(Render, ConstantImageDoesNotCrash) {
+  tomo::Image img(8, 8, 3.0f);
+  auto art = access::ascii_render(img, 8);
+  EXPECT_FALSE(art.empty());
+}
+
+}  // namespace
+}  // namespace alsflow

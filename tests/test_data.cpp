@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/ah5.hpp"
+#include "data/multiscale.hpp"
+#include "data/scan_meta.hpp"
+#include "data/tiff.hpp"
+#include "tomo/metrics.hpp"
+#include "tomo/phantom.hpp"
+
+namespace alsflow::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("alsflow_test_" + std::to_string(::getpid()));
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+ScanMetadata valid_scan() {
+  ScanMetadata m;
+  m.scan_id = "20260705_120000_sample";
+  m.sample_name = "feather";
+  m.proposal = "ALS-12345";
+  m.user = "visiting-user";
+  m.n_angles = 1969;
+  m.rows = 2160;
+  m.cols = 2560;
+  m.bit_depth = 16;
+  m.exposure_s = 0.05;
+  m.energy_kev = 25.0;
+  m.pixel_um = 0.65;
+  return m;
+}
+
+TEST(ScanMetadata, ValidScanPasses) {
+  EXPECT_TRUE(valid_scan().validate().ok());
+}
+
+TEST(ScanMetadata, RejectsMissingFields) {
+  auto m = valid_scan();
+  m.scan_id.clear();
+  EXPECT_EQ(m.validate().error().code, "invalid_metadata");
+
+  m = valid_scan();
+  m.n_angles = 0;
+  EXPECT_FALSE(m.validate().ok());
+
+  m = valid_scan();
+  m.bit_depth = 12;
+  EXPECT_FALSE(m.validate().ok());
+
+  m = valid_scan();
+  m.exposure_s = -1.0;
+  EXPECT_FALSE(m.validate().ok());
+}
+
+TEST(ScanMetadata, PaperScaleRawSize) {
+  // 1969 projections of 2160 x 2560 16-bit ~ 20 GiB (Section 5.2).
+  auto m = valid_scan();
+  const double gib = double(m.raw_bytes()) / double(GiB);
+  EXPECT_GT(gib, 19.0);
+  EXPECT_LT(gib, 21.5);
+}
+
+TEST(ScanMetadata, PaperScaleReconSize) {
+  // 2160 x 2560 x 2560 float32 ~ 50 GB (Section 5.2).
+  auto m = valid_scan();
+  const double gb = double(m.recon_bytes()) / 1e9;
+  EXPECT_NEAR(gb, 56.6, 1.0);
+}
+
+TEST(FrameMetadata, ValidatesAgainstScan) {
+  auto scan = valid_scan();
+  FrameMetadata f{scan.scan_id, 10, scan.rows, scan.cols, 0.0};
+  EXPECT_TRUE(f.validate(scan).ok());
+
+  f.angle_index = scan.n_angles;  // out of range
+  EXPECT_EQ(f.validate(scan).error().code, "frame_mismatch");
+
+  f.angle_index = 0;
+  f.rows = 1;
+  EXPECT_FALSE(f.validate(scan).ok());
+
+  f.rows = scan.rows;
+  f.scan_id = "other";
+  EXPECT_FALSE(f.validate(scan).ok());
+}
+
+TEST(Ah5, AttrsRoundTrip) {
+  Ah5File f;
+  f.set_attr("scan_id", "abc");
+  f.set_attr("energy", "25.0");
+  auto bytes = f.serialize();
+  auto back = Ah5File::deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().attr("scan_id").value(), "abc");
+  EXPECT_EQ(back.value().attr("energy").value(), "25.0");
+  EXPECT_FALSE(back.value().attr("missing").ok());
+}
+
+TEST(Ah5, DatasetRoundTrip) {
+  Ah5File f;
+  Ah5Dataset ds;
+  ds.name = "projections";
+  ds.dims = {4, 8, 8};
+  ds.values.resize(4 * 8 * 8);
+  for (std::size_t i = 0; i < ds.values.size(); ++i) {
+    ds.values[i] = float(i) * 0.5f;
+  }
+  ASSERT_TRUE(f.add_dataset(ds).ok());
+
+  auto back = Ah5File::deserialize(f.serialize());
+  ASSERT_TRUE(back.ok());
+  const auto* got = back.value().dataset("projections");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->dims, ds.dims);
+  EXPECT_EQ(got->values, ds.values);
+}
+
+TEST(Ah5, ShapeMismatchRejected) {
+  Ah5File f;
+  Ah5Dataset ds;
+  ds.name = "bad";
+  ds.dims = {2, 2};
+  ds.values.resize(5);
+  EXPECT_EQ(f.add_dataset(ds).error().code, "shape_mismatch");
+}
+
+TEST(Ah5, ReplacesDatasetWithSameName) {
+  Ah5File f;
+  ASSERT_TRUE(f.add_dataset({"x", {2}, {1.0f, 2.0f}}).ok());
+  ASSERT_TRUE(f.add_dataset({"x", {3}, {1.0f, 2.0f, 3.0f}}).ok());
+  EXPECT_EQ(f.dataset_names().size(), 1u);
+  EXPECT_EQ(f.dataset("x")->values.size(), 3u);
+}
+
+TEST(Ah5, CorruptionDetected) {
+  Ah5File f;
+  f.set_attr("k", "v");
+  ASSERT_TRUE(f.add_dataset({"d", {2}, {1.0f, 2.0f}}).ok());
+  auto bytes = f.serialize();
+  bytes[bytes.size() / 2] ^= 0xFF;  // flip a payload bit
+  auto back = Ah5File::deserialize(bytes);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.error().code, "checksum_mismatch");
+}
+
+TEST(Ah5, ByteSizeMatchesSerialized) {
+  Ah5File f;
+  f.set_attr("scan_id", "abc");
+  ASSERT_TRUE(f.add_dataset({"d", {3, 3}, std::vector<float>(9, 1.0f)}).ok());
+  EXPECT_EQ(f.byte_size(), f.serialize().size());
+}
+
+TEST(Ah5, FileRoundTrip) {
+  TempDir tmp;
+  Ah5File f;
+  f.set_attr("scan_id", "xyz");
+  ASSERT_TRUE(f.add_dataset({"d", {4}, {1, 2, 3, 4}}).ok());
+  const std::string path = (tmp.path / "scan.ah5").string();
+  ASSERT_TRUE(f.write_file(path).ok());
+  auto back = Ah5File::read_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().attr("scan_id").value(), "xyz");
+}
+
+TEST(Tiff, RoundTripPreservesPixels) {
+  TempDir tmp;
+  tomo::Image img = tomo::shepp_logan(32);
+  const std::string path = (tmp.path / "slice.tif").string();
+  ASSERT_TRUE(write_tiff(path, img).ok());
+  auto back = read_tiff(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().ny(), 32u);
+  EXPECT_EQ(back.value().nx(), 32u);
+  EXPECT_DOUBLE_EQ(tomo::rmse(img, back.value()), 0.0);
+}
+
+TEST(Tiff, RejectsGarbage) {
+  TempDir tmp;
+  const std::string path = (tmp.path / "bad.tif").string();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a tiff at all", f);
+  std::fclose(f);
+  EXPECT_FALSE(read_tiff(path).ok());
+}
+
+TEST(Tiff, StackWritesAllSlices) {
+  TempDir tmp;
+  tomo::Volume vol = tomo::shepp_logan_3d(16);
+  auto n = write_tiff_stack((tmp.path / "stack").string(), vol);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 16u);
+  auto back = read_tiff((tmp.path / "stack/slice_0008.tif").string());
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(tomo::rmse(vol.slice_image(8), back.value()), 0.0);
+}
+
+TEST(Multiscale, Downsample2Averages) {
+  tomo::Volume v(2, 2, 2);
+  float val = 0.0f;
+  for (std::size_t z = 0; z < 2; ++z) {
+    for (std::size_t y = 0; y < 2; ++y) {
+      for (std::size_t x = 0; x < 2; ++x) v.at(z, y, x) = val++;
+    }
+  }
+  tomo::Volume d = downsample2(v);
+  EXPECT_EQ(d.nz(), 1u);
+  EXPECT_FLOAT_EQ(d.at(0, 0, 0), 3.5f);  // mean of 0..7
+}
+
+TEST(Multiscale, OddSizesHandled) {
+  tomo::Volume v(5, 5, 5, 2.0f);
+  tomo::Volume d = downsample2(v);
+  EXPECT_EQ(d.nz(), 3u);
+  for (float p : d.span()) EXPECT_FLOAT_EQ(p, 2.0f);
+}
+
+TEST(Multiscale, PyramidLevels) {
+  tomo::Volume v = tomo::shepp_logan_3d(32);
+  auto ms = MultiscaleVolume::build(v, 4, 8);
+  EXPECT_EQ(ms.n_levels(), 4u);
+  EXPECT_EQ(ms.level(0).nz(), 32u);
+  EXPECT_EQ(ms.level(1).nz(), 16u);
+  EXPECT_EQ(ms.level(3).nz(), 4u);
+  // Mean intensity is preserved by mean-downsampling.
+  auto mean = [](const tomo::Volume& vol) {
+    double acc = 0.0;
+    for (float p : vol.span()) acc += p;
+    return acc / double(vol.size());
+  };
+  EXPECT_NEAR(mean(ms.level(0)), mean(ms.level(3)), 1e-3);
+}
+
+TEST(Multiscale, ChunkExtraction) {
+  tomo::Volume v(16, 16, 16);
+  for (std::size_t z = 0; z < 16; ++z) {
+    for (std::size_t y = 0; y < 16; ++y) {
+      for (std::size_t x = 0; x < 16; ++x) {
+        v.at(z, y, x) = float(z * 256 + y * 16 + x);
+      }
+    }
+  }
+  auto ms = MultiscaleVolume::build(v, 1, 8);
+  auto grid = ms.chunk_grid(0);
+  EXPECT_EQ(grid.z, 2u);
+  auto chunk = ms.chunk(0, {1, 0, 1});
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_FLOAT_EQ(chunk.value().at(0, 0, 0), v.at(8, 0, 8));
+  EXPECT_FALSE(ms.chunk(0, {2, 0, 0}).ok());
+}
+
+TEST(Multiscale, SliceAxes) {
+  tomo::Volume v = tomo::shepp_logan_3d(16);
+  auto ms = MultiscaleVolume::build(v, 2, 8);
+  auto xy = ms.slice(0, 0, 8);
+  ASSERT_TRUE(xy.ok());
+  EXPECT_DOUBLE_EQ(tomo::rmse(xy.value(), v.slice_image(8)), 0.0);
+
+  auto xz = ms.slice(0, 1, 8);
+  ASSERT_TRUE(xz.ok());
+  EXPECT_FLOAT_EQ(xz.value().at(3, 5), v.at(3, 8, 5));
+
+  auto yz = ms.slice(0, 2, 8);
+  ASSERT_TRUE(yz.ok());
+  EXPECT_FLOAT_EQ(yz.value().at(3, 5), v.at(3, 5, 8));
+
+  EXPECT_FALSE(ms.slice(5, 0, 0).ok());
+  EXPECT_FALSE(ms.slice(0, 3, 0).ok());
+  EXPECT_FALSE(ms.slice(0, 0, 99).ok());
+}
+
+TEST(Multiscale, TotalBytesSumsLevels) {
+  tomo::Volume v(8, 8, 8);
+  auto ms = MultiscaleVolume::build(v, 2, 4);
+  EXPECT_EQ(ms.total_bytes(), Bytes(8 * 8 * 8 + 4 * 4 * 4) * 4);
+}
+
+}  // namespace
+}  // namespace alsflow::data

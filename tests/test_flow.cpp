@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flow/engine.hpp"
+#include "flow/run_db.hpp"
+
+namespace alsflow::flow {
+namespace {
+
+using sim::Engine;
+
+struct World {
+  Engine eng;
+  RunDatabase db;
+  FlowEngine flows{eng, db};
+};
+
+TEST(RunDb, LifecycleAndQueries) {
+  RunDatabase db;
+  auto id = db.create_run("new_file_832", 10.0, "scan=abc");
+  db.mark_running(id, 12.0);
+  db.mark_finished(id, RunState::Completed, 70.0);
+
+  const auto* rec = db.run(id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->flow_name, "new_file_832");
+  EXPECT_EQ(rec->parameters, "scan=abc");
+  EXPECT_DOUBLE_EQ(rec->duration(), 60.0);
+  EXPECT_EQ(db.runs("new_file_832").size(), 1u);
+  EXPECT_EQ(db.runs("other").size(), 0u);
+  EXPECT_EQ(db.runs().size(), 1u);
+}
+
+TEST(RunDb, DurationSummaryLastN) {
+  RunDatabase db;
+  for (int i = 0; i < 10; ++i) {
+    auto id = db.create_run("f", double(i * 100));
+    db.mark_running(id, double(i * 100));
+    db.mark_finished(id, RunState::Completed, double(i * 100 + 10 + i));
+  }
+  // Last 5 runs have durations 15..19.
+  auto s = db.duration_summary("f", 5);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 17.0);
+  EXPECT_DOUBLE_EQ(s.min, 15.0);
+  EXPECT_DOUBLE_EQ(s.max, 19.0);
+}
+
+TEST(RunDb, SummaryIgnoresFailures) {
+  RunDatabase db;
+  auto ok = db.create_run("f", 0.0);
+  db.mark_finished(ok, RunState::Completed, 10.0);
+  auto bad = db.create_run("f", 0.0);
+  db.mark_finished(bad, RunState::Failed, 99.0, "timeout");
+  auto s = db.duration_summary("f", 100);
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 10.0);
+  EXPECT_NEAR(db.success_rate("f"), 0.5, 1e-12);
+}
+
+TEST(FlowEngine, RunsRegisteredFlow) {
+  World w;
+  bool ran = false;
+  w.flows.register_flow("hello", [&](FlowContext ctx) -> sim::Future<Status> {
+    ran = true;
+    EXPECT_FALSE(ctx.run_id.empty());
+    co_await sim::delay(ctx.engine.sim(), 5.0);
+    co_return Status::success();
+  });
+  auto fut = w.flows.run_flow("hello");
+  w.eng.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(fut.value().state, RunState::Completed);
+  EXPECT_DOUBLE_EQ(w.db.runs("hello")[0].duration(), 5.0);
+}
+
+TEST(FlowEngine, UnknownFlowFails) {
+  World w;
+  auto fut = w.flows.run_flow("nope");
+  w.eng.run();
+  EXPECT_EQ(fut.value().state, RunState::Failed);
+  EXPECT_EQ(fut.value().status.error().code, "unknown_flow");
+}
+
+TEST(FlowEngine, FlowRetriesOnFailure) {
+  World w;
+  int attempts = 0;
+  FlowOptions opts;
+  opts.max_retries = 2;
+  opts.retry_delay = 1.0;
+  w.flows.register_flow(
+      "flaky",
+      [&](FlowContext ctx) -> sim::Future<Status> {
+        (void)ctx;
+        ++attempts;
+        if (attempts < 3) co_return Error::make("transient");
+        co_return Status::success();
+      },
+      opts);
+  auto fut = w.flows.run_flow("flaky");
+  w.eng.run();
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(fut.value().state, RunState::Completed);
+  EXPECT_EQ(w.db.runs("flaky")[0].retries, 2);
+}
+
+TEST(FlowEngine, FlowFailsAfterRetriesExhausted) {
+  World w;
+  FlowOptions opts;
+  opts.max_retries = 1;
+  opts.retry_delay = 1.0;
+  w.flows.register_flow(
+      "doomed",
+      [&](FlowContext) -> sim::Future<Status> {
+        co_return Error::make("permission_denied");
+      },
+      opts);
+  auto fut = w.flows.run_flow("doomed");
+  w.eng.run();
+  EXPECT_EQ(fut.value().state, RunState::Failed);
+  EXPECT_EQ(w.db.runs("doomed")[0].error, "permission_denied");
+}
+
+TEST(FlowEngine, PoolConcurrencyLimit) {
+  World w;
+  w.flows.set_pool_limit("hpc", 2);
+  std::vector<double> started;
+  FlowOptions opts;
+  opts.work_pool = "hpc";
+  w.flows.register_flow(
+      "job",
+      [&](FlowContext ctx) -> sim::Future<Status> {
+        started.push_back(ctx.engine.sim().now());
+        co_await sim::delay(ctx.engine.sim(), 10.0);
+        co_return Status::success();
+      },
+      opts);
+  for (int i = 0; i < 4; ++i) w.flows.submit_flow("job");
+  w.eng.run();
+  ASSERT_EQ(started.size(), 4u);
+  EXPECT_DOUBLE_EQ(started[0], 0.0);
+  EXPECT_DOUBLE_EQ(started[1], 0.0);
+  EXPECT_DOUBLE_EQ(started[2], 10.0);
+  EXPECT_DOUBLE_EQ(started[3], 10.0);
+}
+
+TEST(FlowEngine, TaskRetriesWithBackoff) {
+  World w;
+  int attempts = 0;
+  std::vector<double> attempt_times;
+  w.flows.register_flow("f", [&](FlowContext ctx) -> sim::Future<Status> {
+    TaskOptions topts;
+    topts.max_retries = 3;
+    topts.retry_delay = 1.0;
+    topts.backoff = 2.0;
+    co_return co_await ctx.engine.run_task(
+        ctx, "stage",
+        [&]() -> sim::Future<Status> {
+          attempt_times.push_back(w.eng.now());
+          ++attempts;
+          if (attempts < 4) co_return Error::make("transient");
+          co_return Status::success();
+        },
+        topts);
+  });
+  auto fut = w.flows.run_flow("f");
+  w.eng.run();
+  EXPECT_EQ(fut.value().state, RunState::Completed);
+  ASSERT_EQ(attempt_times.size(), 4u);
+  // Delays: 1, 2, 4 (exponential backoff).
+  EXPECT_DOUBLE_EQ(attempt_times[1] - attempt_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(attempt_times[2] - attempt_times[1], 2.0);
+  EXPECT_DOUBLE_EQ(attempt_times[3] - attempt_times[2], 4.0);
+}
+
+TEST(FlowEngine, TaskRecordsInDb) {
+  World w;
+  w.flows.register_flow("f", [&](FlowContext ctx) -> sim::Future<Status> {
+    co_return co_await ctx.engine.run_task(
+        ctx, "ingest", []() -> sim::Future<Status> {
+          co_return Status::success();
+        });
+  });
+  auto fut = w.flows.run_flow("f");
+  w.eng.run();
+  auto tasks = w.db.tasks(fut.value().run_id);
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].task_name, "ingest");
+  EXPECT_EQ(tasks[0].state, RunState::Completed);
+  EXPECT_EQ(tasks[0].attempts, 1);
+}
+
+TEST(FlowEngine, IdempotentTaskSkipsSecondExecution) {
+  World w;
+  int executions = 0;
+  w.flows.register_flow("f", [&](FlowContext ctx) -> sim::Future<Status> {
+    TaskOptions topts;
+    topts.idempotency_key = "copy:scan-123";
+    co_return co_await ctx.engine.run_task(
+        ctx, "copy",
+        [&]() -> sim::Future<Status> {
+          ++executions;
+          co_return Status::success();
+        },
+        topts);
+  });
+  auto a = w.flows.run_flow("f");
+  w.eng.run();
+  auto b = w.flows.run_flow("f");
+  w.eng.run();
+  EXPECT_EQ(executions, 1);  // second run reuses the cached success
+  EXPECT_EQ(b.value().state, RunState::Completed);
+}
+
+TEST(FlowEngine, FailedIdempotentTaskRetriesNextRun) {
+  World w;
+  int executions = 0;
+  w.flows.register_flow("f", [&](FlowContext ctx) -> sim::Future<Status> {
+    TaskOptions topts;
+    topts.idempotency_key = "push:scan-9";
+    topts.max_retries = 0;
+    co_return co_await ctx.engine.run_task(
+        ctx, "push",
+        [&]() -> sim::Future<Status> {
+          ++executions;
+          if (executions == 1) co_return Error::make("transient");
+          co_return Status::success();
+        },
+        topts);
+  });
+  auto a = w.flows.run_flow("f");
+  w.eng.run();
+  EXPECT_EQ(a.value().state, RunState::Failed);
+  auto b = w.flows.run_flow("f");
+  w.eng.run();
+  EXPECT_EQ(executions, 2);  // failure is not cached as success
+  EXPECT_EQ(b.value().state, RunState::Completed);
+}
+
+TEST(FlowEngine, PeriodicScheduleRunsAndCancels) {
+  World w;
+  int runs = 0;
+  w.flows.register_flow("prune", [&](FlowContext) -> sim::Future<Status> {
+    ++runs;
+    co_return Status::success();
+  });
+  int handle = w.flows.schedule_periodic("prune", 100.0, 10.0);
+  w.eng.run_until(350.0);
+  EXPECT_EQ(runs, 4);  // t = 10, 110, 210, 310
+  w.flows.cancel_schedule(handle);
+  w.eng.run_until(1000.0);
+  EXPECT_EQ(runs, 4);  // cancellation takes effect before the next firing
+}
+
+}  // namespace
+}  // namespace alsflow::flow

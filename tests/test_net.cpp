@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/pubsub.hpp"
+
+namespace alsflow::net {
+namespace {
+
+using sim::Engine;
+using sim::Proc;
+
+Proc send_and_record(Engine& eng, Link& link, Bytes bytes,
+                     std::vector<double>& finished_at) {
+  co_await link.send(bytes);
+  finished_at.push_back(eng.now());
+}
+
+TEST(Link, SingleTransferTakesSizeOverBandwidth) {
+  Engine eng;
+  Link link(eng, "esnet", 100.0);  // 100 B/s
+  std::vector<double> done;
+  send_and_record(eng, link, 1000, done).detach();
+  eng.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0], 10.0, 1e-6);
+}
+
+TEST(Link, LatencyAdds) {
+  Engine eng;
+  Link link(eng, "esnet", 100.0, 2.5);
+  std::vector<double> done;
+  send_and_record(eng, link, 1000, done).detach();
+  eng.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0], 12.5, 1e-6);
+}
+
+TEST(Link, ZeroBytesIsLatencyOnly) {
+  Engine eng;
+  Link link(eng, "esnet", 100.0, 3.0);
+  std::vector<double> done;
+  send_and_record(eng, link, 0, done).detach();
+  eng.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0], 3.0, 1e-6);
+}
+
+TEST(Link, TwoConcurrentTransfersShareBandwidth) {
+  Engine eng;
+  Link link(eng, "esnet", 100.0);
+  std::vector<double> done;
+  // Both start at t=0; each gets 50 B/s while both are active.
+  send_and_record(eng, link, 1000, done).detach();
+  send_and_record(eng, link, 1000, done).detach();
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 20.0, 1e-6);
+  EXPECT_NEAR(done[1], 20.0, 1e-6);
+}
+
+TEST(Link, UnequalTransfersProcessorSharing) {
+  Engine eng;
+  Link link(eng, "l", 100.0);
+  std::vector<double> done_small, done_big;
+  send_and_record(eng, link, 500, done_small).detach();
+  send_and_record(eng, link, 1500, done_big).detach();
+  eng.run();
+  // Phase 1: both at 50 B/s; small (500 B) finishes at t=10.
+  // Phase 2: big has 1000 B left at 100 B/s -> finishes at t=20.
+  ASSERT_EQ(done_small.size(), 1u);
+  ASSERT_EQ(done_big.size(), 1u);
+  EXPECT_NEAR(done_small[0], 10.0, 1e-6);
+  EXPECT_NEAR(done_big[0], 20.0, 1e-6);
+}
+
+Proc staggered_sender(Engine& eng, Link& link, Seconds start, Bytes bytes,
+                      std::vector<double>& done) {
+  co_await sim::delay(eng, start);
+  co_await link.send(bytes);
+  done.push_back(eng.now());
+}
+
+TEST(Link, LateArrivalSlowsExisting) {
+  Engine eng;
+  Link link(eng, "l", 100.0);
+  std::vector<double> first, second;
+  staggered_sender(eng, link, 0.0, 1000, first).detach();
+  staggered_sender(eng, link, 5.0, 1000, second).detach();
+  eng.run();
+  // First: 500 B alone (t=0..5), then shares: 500 B at 50 B/s -> t=15.
+  // Second: 500 B at 50 B/s (t=5..15), then alone: 500 B at 100 B/s -> t=20.
+  EXPECT_NEAR(first[0], 15.0, 1e-6);
+  EXPECT_NEAR(second[0], 20.0, 1e-6);
+}
+
+TEST(Link, TracksTotalsAndThroughput) {
+  Engine eng;
+  Link link(eng, "l", 100.0);
+  std::vector<double> done;
+  send_and_record(eng, link, 1000, done).detach();
+  eng.run();
+  EXPECT_EQ(link.total_bytes_sent(), 1000u);
+  EXPECT_NEAR(link.mean_throughput(), 100.0, 1e-6);
+  EXPECT_EQ(link.active_transfers(), 0u);
+}
+
+TEST(Channel, DeliversToAllSubscribers) {
+  Engine eng;
+  Channel<int> ch(eng, "ioc");
+  auto s1 = ch.subscribe();
+  auto s2 = ch.subscribe();
+  ch.publish(42);
+  eng.run();
+  EXPECT_EQ(s1->queue().size(), 1u);
+  EXPECT_EQ(s2->queue().size(), 1u);
+  EXPECT_EQ(*s1->queue().try_pop(), 42);
+  EXPECT_EQ(ch.published(), 1u);
+}
+
+TEST(Channel, LinkDelaysDelivery) {
+  Engine eng;
+  Link slow(eng, "esnet", 100.0, 1.0);
+  Channel<int> ch(eng, "ioc");
+  auto local = ch.subscribe();                  // instant
+  auto remote = ch.subscribe(&slow, 200);       // 2s transfer + 1s latency
+
+  ch.publish(7);
+  EXPECT_EQ(local->queue().size(), 1u);
+  EXPECT_EQ(remote->queue().size(), 0u);
+  eng.run_until(2.9);
+  EXPECT_EQ(remote->queue().size(), 0u);
+  eng.run_until(3.1);
+  EXPECT_EQ(remote->queue().size(), 1u);
+}
+
+TEST(Channel, BoundedQueueDropsOldest) {
+  Engine eng;
+  Channel<int> ch(eng, "ioc");
+  auto sub = ch.subscribe(nullptr, 0, /*max_depth=*/2);
+  ch.publish(1);
+  ch.publish(2);
+  ch.publish(3);
+  EXPECT_EQ(sub->overruns(), 1u);
+  EXPECT_EQ(*sub->queue().try_pop(), 2);  // 1 was dropped
+  EXPECT_EQ(*sub->queue().try_pop(), 3);
+}
+
+Proc consume_n(Engine& eng, std::shared_ptr<Subscription<int>> sub, int n,
+               std::vector<int>& out) {
+  (void)eng;
+  for (int i = 0; i < n; ++i) out.push_back(co_await sub->queue().pop());
+}
+
+TEST(MirrorServer, RepublishesInOrder) {
+  Engine eng;
+  Channel<int> ioc(eng, "ioc");
+  MirrorServer<int> mirror(eng, ioc, "mirror");
+  auto writer = mirror.channel().subscribe();
+  auto streamer = mirror.channel().subscribe();
+
+  std::vector<int> got_writer, got_streamer;
+  consume_n(eng, writer, 3, got_writer).detach();
+  consume_n(eng, streamer, 3, got_streamer).detach();
+
+  ioc.publish(10);
+  ioc.publish(11);
+  ioc.publish(12);
+  eng.run();
+
+  EXPECT_EQ(got_writer, (std::vector<int>{10, 11, 12}));
+  EXPECT_EQ(got_streamer, (std::vector<int>{10, 11, 12}));
+  EXPECT_EQ(mirror.forwarded(), 3u);
+  // The IOC channel itself has exactly one subscriber: the mirror.
+  EXPECT_EQ(ioc.subscriber_count(), 1u);
+}
+
+}  // namespace
+}  // namespace alsflow::net

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace alsflow::parallel {
+namespace {
+
+TEST(ThreadPool, EveryIndexVisitedOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { visits[i]++; });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SingleThreadWorks) {
+  ThreadPool pool(1);
+  std::atomic<long> sum{0};
+  pool.parallel_for(0, 100, [&](std::size_t i) { sum += long(i); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, ChunksCoverRangeExactly) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> visits(777);
+  pool.parallel_for_chunks(0, 777, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) visits[i]++;
+  });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, NonZeroBegin) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  pool.parallel_for(10, 20, [&](std::size_t i) { sum += long(i); });
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ThreadPool, RepeatedInvocations) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 100, [&](std::size_t) { count++; });
+    ASSERT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPool, SizeReportsThreads) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  ThreadPool one(1);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> count{0};
+  parallel_for(0, 10, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ResultMatchesSerial) {
+  // Parallel reduction into per-chunk partials must equal the serial sum.
+  std::vector<double> data(10000);
+  std::iota(data.begin(), data.end(), 0.0);
+  const double serial = std::accumulate(data.begin(), data.end(), 0.0);
+
+  ThreadPool pool(4);
+  std::mutex m;
+  double parallel_sum = 0.0;
+  pool.parallel_for_chunks(0, data.size(), [&](std::size_t b, std::size_t e) {
+    double local = 0.0;
+    for (std::size_t i = b; i < e; ++i) local += data[i];
+    std::lock_guard<std::mutex> lock(m);
+    parallel_sum += local;
+  });
+  EXPECT_DOUBLE_EQ(parallel_sum, serial);
+}
+
+}  // namespace
+}  // namespace alsflow::parallel

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "storage/endpoint.hpp"
+#include "storage/retention.hpp"
+
+namespace alsflow::storage {
+namespace {
+
+TEST(Endpoint, PutStatRemove) {
+  StorageEndpoint ep("beamline", Tier::BeamlineLocal, 100 * GiB);
+  ASSERT_TRUE(ep.put("/raw/scan1.ah5", 30 * GiB, 0xABCD, 10.0).ok());
+  EXPECT_TRUE(ep.exists("/raw/scan1.ah5"));
+  EXPECT_EQ(ep.used(), 30 * GiB);
+
+  auto info = ep.stat("/raw/scan1.ah5");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().size, 30 * GiB);
+  EXPECT_EQ(info.value().checksum, 0xABCDu);
+  EXPECT_DOUBLE_EQ(info.value().created_at, 10.0);
+
+  ASSERT_TRUE(ep.remove("/raw/scan1.ah5").ok());
+  EXPECT_FALSE(ep.exists("/raw/scan1.ah5"));
+  EXPECT_EQ(ep.used(), 0u);
+}
+
+TEST(Endpoint, StatMissingFails) {
+  StorageEndpoint ep("x", Tier::Cfs, GiB);
+  EXPECT_EQ(ep.stat("/nope").error().code, "not_found");
+  EXPECT_EQ(ep.remove("/nope").error().code, "not_found");
+}
+
+TEST(Endpoint, CapacityEnforced) {
+  StorageEndpoint ep("small", Tier::Scratch, 10 * GiB);
+  ASSERT_TRUE(ep.put("/a", 6 * GiB, 1, 0.0).ok());
+  EXPECT_EQ(ep.put("/b", 6 * GiB, 2, 0.0).error().code, "capacity");
+  // Still room for a smaller file.
+  EXPECT_TRUE(ep.put("/c", 4 * GiB, 3, 0.0).ok());
+}
+
+TEST(Endpoint, OverwriteAdjustsUsage) {
+  StorageEndpoint ep("x", Tier::Cfs, 10 * GiB);
+  ASSERT_TRUE(ep.put("/a", 4 * GiB, 1, 0.0).ok());
+  ASSERT_TRUE(ep.put("/a", 6 * GiB, 2, 1.0).ok());
+  EXPECT_EQ(ep.used(), 6 * GiB);
+  ASSERT_TRUE(ep.put("/a", 2 * GiB, 3, 2.0).ok());
+  EXPECT_EQ(ep.used(), 2 * GiB);
+}
+
+TEST(Endpoint, ListByPrefix) {
+  StorageEndpoint ep("x", Tier::Cfs, TiB);
+  ASSERT_TRUE(ep.put("/raw/a", 1, 0, 0.0).ok());
+  ASSERT_TRUE(ep.put("/raw/b", 1, 0, 1.0).ok());
+  ASSERT_TRUE(ep.put("/recon/a", 1, 0, 2.0).ok());
+  EXPECT_EQ(ep.list("/raw/").size(), 2u);
+  EXPECT_EQ(ep.list("/recon/").size(), 1u);
+  EXPECT_EQ(ep.list().size(), 3u);
+}
+
+TEST(Endpoint, ListOlderThan) {
+  StorageEndpoint ep("x", Tier::Cfs, TiB);
+  ASSERT_TRUE(ep.put("/raw/old", 1, 0, 10.0).ok());
+  ASSERT_TRUE(ep.put("/raw/new", 1, 0, 100.0).ok());
+  auto old = ep.list_older_than("/raw/", 50.0);
+  ASSERT_EQ(old.size(), 1u);
+  EXPECT_EQ(old[0].path, "/raw/old");
+}
+
+TEST(Endpoint, PermissionDeny) {
+  StorageEndpoint ep("x", Tier::Cfs, TiB);
+  ASSERT_TRUE(ep.put("/raw/a", 1, 0, 0.0).ok());
+  ep.deny("remove", "/raw/");
+  EXPECT_EQ(ep.remove("/raw/a").error().code, "permission_denied");
+  // Other prefixes and other operations are unaffected.
+  ASSERT_TRUE(ep.put("/raw/b", 1, 0, 0.0).ok());
+  ep.allow_all();
+  EXPECT_TRUE(ep.remove("/raw/a").ok());
+}
+
+TEST(Endpoint, Utilization) {
+  StorageEndpoint ep("x", Tier::Cfs, 100);
+  ASSERT_TRUE(ep.put("/a", 25, 0, 0.0).ok());
+  EXPECT_DOUBLE_EQ(ep.utilization(), 0.25);
+}
+
+TEST(TierNames, Stable) {
+  EXPECT_STREQ(tier_name(Tier::BeamlineLocal), "beamline-local");
+  EXPECT_STREQ(tier_name(Tier::Hpss), "hpss");
+}
+
+TEST(Retention, DefaultsFollowPaperTiers) {
+  EXPECT_LT(default_policy(Tier::Scratch).max_age,
+            default_policy(Tier::BeamlineLocal).max_age);
+  EXPECT_LT(default_policy(Tier::BeamlineLocal).max_age,
+            default_policy(Tier::Cfs).max_age);
+  EXPECT_LT(default_policy(Tier::Hpss).max_age, 0.0);  // never pruned
+}
+
+TEST(Retention, PrunePassRemovesOnlyExpired) {
+  StorageEndpoint ep("x", Tier::BeamlineLocal, TiB);
+  ASSERT_TRUE(ep.put("/raw/old1", 10, 0, 0.0).ok());
+  ASSERT_TRUE(ep.put("/raw/old2", 20, 0, days(1)).ok());
+  ASSERT_TRUE(ep.put("/raw/new", 30, 0, days(20)).ok());
+
+  auto report = prune_pass(ep, {"/raw/", days(10)}, days(21));
+  EXPECT_EQ(report.files_removed, 2u);
+  EXPECT_EQ(report.bytes_freed, 30u);
+  EXPECT_TRUE(ep.exists("/raw/new"));
+  EXPECT_FALSE(ep.exists("/raw/old1"));
+}
+
+TEST(Retention, HpssNeverPruned) {
+  StorageEndpoint ep("hpss", Tier::Hpss, TiB);
+  ASSERT_TRUE(ep.put("/archive/ancient", 10, 0, 0.0).ok());
+  auto report = prune_pass(ep, default_policy(Tier::Hpss, "/archive/"),
+                           days(10000));
+  EXPECT_EQ(report.files_removed, 0u);
+  EXPECT_TRUE(ep.exists("/archive/ancient"));
+}
+
+TEST(Retention, PermissionErrorsReported) {
+  // The prune-burst incident: deletes hit permission_denied and must be
+  // reported, not silently swallowed.
+  StorageEndpoint ep("x", Tier::BeamlineLocal, TiB);
+  ASSERT_TRUE(ep.put("/raw/a", 10, 0, 0.0).ok());
+  ASSERT_TRUE(ep.put("/raw/b", 10, 0, 0.0).ok());
+  ep.deny("remove", "/raw/");
+  auto report = prune_pass(ep, {"/raw/", days(1)}, days(30));
+  EXPECT_EQ(report.files_removed, 0u);
+  EXPECT_EQ(report.errors.size(), 2u);
+  EXPECT_EQ(report.errors[0].code, "permission_denied");
+  EXPECT_EQ(ep.file_count(), 2u);
+}
+
+TEST(Retention, EmptyPrefixPrunesWholeEndpoint) {
+  StorageEndpoint ep("x", Tier::Scratch, TiB);
+  ASSERT_TRUE(ep.put("/a/1", 1, 0, 0.0).ok());
+  ASSERT_TRUE(ep.put("/b/2", 1, 0, 0.0).ok());
+  auto report = prune_pass(ep, {"", days(1)}, days(3));
+  EXPECT_EQ(report.files_removed, 2u);
+}
+
+}  // namespace
+}  // namespace alsflow::storage

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tomo/fft.hpp"
+#include "tomo/filters.hpp"
+
+namespace alsflow::tomo {
+namespace {
+
+using cplx = std::complex<double>;
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(Fft, DeltaFunctionIsFlat) {
+  std::vector<cplx> a(8, {0.0, 0.0});
+  a[0] = 1.0;
+  fft(a, false);
+  for (const auto& x : a) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<cplx> a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = std::cos(2.0 * M_PI * 5.0 * double(i) / double(n));
+  }
+  fft(a, false);
+  // Bins 5 and n-5 hold n/2 each; everything else ~0.
+  EXPECT_NEAR(std::abs(a[5]), double(n) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(a[n - 5]), double(n) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(a[4]), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(a[0]), 0.0, 1e-9);
+}
+
+TEST(Fft, RoundTripRestoresSignal) {
+  Rng rng(1);
+  std::vector<cplx> a(256);
+  for (auto& x : a) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto orig = a;
+  fft(a, false);
+  fft(a, true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(a[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(2);
+  std::vector<cplx> a(128);
+  double time_energy = 0.0;
+  for (auto& x : a) {
+    x = {rng.uniform(-1, 1), 0.0};
+    time_energy += std::norm(x);
+  }
+  fft(a, false);
+  double freq_energy = 0.0;
+  for (const auto& x : a) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / double(a.size()), time_energy, 1e-9);
+}
+
+TEST(Fft, LinearityHolds) {
+  Rng rng(3);
+  const std::size_t n = 64;
+  std::vector<cplx> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {rng.uniform(-1, 1), 0.0};
+    b[i] = {rng.uniform(-1, 1), 0.0};
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  fft(a, false);
+  fft(b, false);
+  fft(sum, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(sum[i] - (a[i] + 2.0 * b[i])), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft2, RoundTrip2D) {
+  Rng rng(4);
+  const std::size_t ny = 16, nx = 32;
+  std::vector<cplx> a(ny * nx);
+  for (auto& x : a) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto orig = a;
+  fft2(a, ny, nx, false);
+  fft2(a, ny, nx, true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(a[i] - orig[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft2, DcBinIsSum) {
+  const std::size_t ny = 8, nx = 8;
+  std::vector<cplx> a(ny * nx, {1.0, 0.0});
+  fft2(a, ny, nx, false);
+  EXPECT_NEAR(a[0].real(), 64.0, 1e-10);
+  EXPECT_NEAR(std::abs(a[1]), 0.0, 1e-10);
+}
+
+TEST(FilterResponse, RampIsZeroAtDcLinearInFrequency) {
+  auto r = filter_response(FilterKind::Ramp, 64);
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+  EXPECT_NEAR(r[1], 1.0 / 64.0, 1e-12);
+  EXPECT_NEAR(r[32], 0.5, 1e-12);       // Nyquist: |k|/N = 32/64
+  EXPECT_NEAR(r[63], 1.0 / 64.0, 1e-12);  // negative frequency -1
+  EXPECT_DOUBLE_EQ(r[16], r[64 - 16]);    // symmetric
+}
+
+TEST(FilterResponse, WindowsAttenuateHighFrequencies) {
+  const std::size_t n = 128;
+  auto ramp = filter_response(FilterKind::Ramp, n);
+  for (FilterKind k : {FilterKind::SheppLogan, FilterKind::Hann,
+                       FilterKind::Hamming, FilterKind::Cosine}) {
+    auto r = filter_response(k, n);
+    // Near Nyquist the windowed response is below the pure ramp.
+    EXPECT_LT(r[n / 2], ramp[n / 2]) << filter_name(k);
+    // Low frequencies nearly unattenuated.
+    EXPECT_NEAR(r[1] / ramp[1], 1.0, 0.05) << filter_name(k);
+  }
+}
+
+TEST(FilterResponse, HannReachesZeroAtNyquist) {
+  auto r = filter_response(FilterKind::Hann, 64);
+  EXPECT_NEAR(r[32], 0.0, 1e-12);
+}
+
+TEST(FilterNames, RoundTrip) {
+  for (FilterKind k : {FilterKind::None, FilterKind::Ramp,
+                       FilterKind::SheppLogan, FilterKind::Hann,
+                       FilterKind::Hamming, FilterKind::Cosine,
+                       FilterKind::Butterworth}) {
+    EXPECT_EQ(filter_from_name(filter_name(k)), k);
+  }
+  EXPECT_THROW(filter_from_name("bogus"), std::invalid_argument);
+}
+
+TEST(ProjectionFilter, NoneIsIdentity) {
+  ProjectionFilter pf(FilterKind::None, 16);
+  std::vector<float> in(16), out(16);
+  for (std::size_t i = 0; i < 16; ++i) in[i] = float(i);
+  pf.apply(in, out);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(out[i], in[i]);
+}
+
+TEST(ProjectionFilter, RemovesDcComponent) {
+  ProjectionFilter pf(FilterKind::Ramp, 64);
+  std::vector<float> in(64, 3.0f), out(64);
+  pf.apply(in, out);
+  // A constant has only DC energy; padding leaves edge ringing, so check
+  // the interior is strongly suppressed.
+  for (std::size_t i = 16; i < 48; ++i) EXPECT_NEAR(out[i], 0.0f, 0.05f);
+}
+
+TEST(ProjectionFilter, InPlaceMatchesOutOfPlace) {
+  ProjectionFilter pf(FilterKind::SheppLogan, 32);
+  Rng rng(5);
+  std::vector<float> a(32), b(32), out(32);
+  for (std::size_t i = 0; i < 32; ++i) a[i] = b[i] = float(rng.uniform(0, 2));
+  pf.apply(a, out);
+  pf.apply(b, b);  // aliased
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_FLOAT_EQ(b[i], out[i]);
+}
+
+}  // namespace
+}  // namespace alsflow::tomo

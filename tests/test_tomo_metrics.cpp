@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tomo/metrics.hpp"
+#include "tomo/phantom.hpp"
+
+namespace alsflow::tomo {
+namespace {
+
+TEST(Rmse, ZeroForIdentical) {
+  Image a = shepp_logan(32);
+  EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+}
+
+TEST(Rmse, KnownOffset) {
+  Image a(4, 4, 1.0f), b(4, 4, 3.0f);
+  EXPECT_DOUBLE_EQ(rmse(a, b), 2.0);
+}
+
+TEST(Psnr, IdenticalIsHuge) {
+  Image a = shepp_logan(32);
+  EXPECT_GE(psnr(a, a), 200.0);
+}
+
+TEST(Psnr, DecreasesWithNoise) {
+  Image a = shepp_logan(64);
+  Rng rng(1);
+  Image small_noise = a, big_noise = a;
+  for (auto& p : small_noise.span()) p += float(rng.normal(0.0, 0.01));
+  for (auto& p : big_noise.span()) p += float(rng.normal(0.0, 0.1));
+  EXPECT_GT(psnr(a, small_noise), psnr(a, big_noise));
+  EXPECT_GT(psnr(a, small_noise), 20.0);
+}
+
+TEST(Ssim, IdenticalIsOne) {
+  Image a = shepp_logan(32);
+  EXPECT_NEAR(ssim_global(a, a), 1.0, 1e-9);
+}
+
+TEST(Ssim, RanksDegradation) {
+  Image a = shepp_logan(64);
+  Rng rng(2);
+  Image slight = a, heavy = a;
+  for (auto& p : slight.span()) p += float(rng.normal(0.0, 0.02));
+  for (auto& p : heavy.span()) p += float(rng.normal(0.0, 0.3));
+  EXPECT_GT(ssim_global(a, slight), ssim_global(a, heavy));
+}
+
+TEST(Pearson, PerfectAndInverse) {
+  Image a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Image b = a;                 // identical
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+  Image c(2, 2);
+  for (std::size_t i = 0; i < 4; ++i) c.data()[i] = -a.data()[i];
+  EXPECT_NEAR(pearson_correlation(a, c), -1.0, 1e-12);
+}
+
+TEST(Pearson, UncorrelatedNearZero) {
+  Rng rng(3);
+  Image a(64, 64), b(64, 64);
+  for (auto& p : a.span()) p = float(rng.uniform(0, 1));
+  for (auto& p : b.span()) p = float(rng.uniform(0, 1));
+  EXPECT_NEAR(pearson_correlation(a, b), 0.0, 0.05);
+}
+
+TEST(MaterialFraction, CountsThresholdedVoxels) {
+  Volume v(2, 2, 2, 0.0f);
+  v.at(0, 0, 0) = 1.0f;
+  v.at(1, 1, 1) = 0.6f;
+  EXPECT_DOUBLE_EQ(material_fraction(v, 0.5f), 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(material_fraction(v, 0.7f), 1.0 / 8.0);
+}
+
+TEST(ShellPorosity, AllVoidIsOne) {
+  Volume v(8, 8, 8, 0.0f);
+  EXPECT_DOUBLE_EQ(shell_porosity(v, 0.5f, 0.2, 0.8), 1.0);
+}
+
+TEST(ShellPorosity, ExcludesCore) {
+  // Material only inside r < 0.2: shell porosity (0.3..0.9) stays 1.
+  Volume v(16, 16, 16, 0.0f);
+  for (std::size_t z = 0; z < 16; ++z) v.at(z, 8, 8) = 1.0f;  // central column
+  EXPECT_DOUBLE_EQ(shell_porosity(v, 0.5f, 0.3, 0.9), 1.0);
+}
+
+TEST(SurfaceDensity, SingleVoxelIsSixFaces) {
+  Volume v(5, 5, 5, 0.0f);
+  v.at(2, 2, 2) = 1.0f;
+  EXPECT_DOUBLE_EQ(surface_density(v, 0.5f), 6.0);
+}
+
+TEST(SurfaceDensity, SolidBlockLowerThanScatteredVoxels) {
+  Volume block(8, 8, 8, 1.0f);
+  Volume scattered(8, 8, 8, 0.0f);
+  for (std::size_t i = 0; i < 8; ++i) scattered.at(i, i, i) = 1.0f;
+  EXPECT_LT(surface_density(block, 0.5f), surface_density(scattered, 0.5f));
+}
+
+TEST(VerticalDispersion, PlanarSheetIsLowHelixIsHigh) {
+  Volume sheet(16, 16, 16, 0.0f);
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x < 16; ++x) {
+      sheet.at(8, y, x) = 1.0f;
+      sheet.at(9, y, x) = 1.0f;
+    }
+  }
+  Volume spread(16, 16, 16, 0.0f);
+  for (std::size_t z = 0; z < 16; ++z) {
+    for (std::size_t y = 0; y < 16; ++y) {
+      for (std::size_t x = 0; x < 16; ++x) {
+        if ((z + y + x) % 3 == 0) spread.at(z, y, x) = 1.0f;
+      }
+    }
+  }
+  EXPECT_LT(vertical_dispersion(sheet, 0.5f),
+            vertical_dispersion(spread, 0.5f));
+}
+
+}  // namespace
+}  // namespace alsflow::tomo

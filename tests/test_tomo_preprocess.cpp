@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tomo/metrics.hpp"
+#include "tomo/phantom.hpp"
+#include "tomo/preprocess.hpp"
+#include "tomo/recon.hpp"
+
+namespace alsflow::tomo {
+namespace {
+
+TEST(Normalize, RecoversTransmission) {
+  // raw = dark + T * (flat - dark) must invert to T.
+  Image dark(4, 8, 100.0f);
+  Image flat(4, 8, 1100.0f);
+  Image proj(4, 8);
+  for (std::size_t y = 0; y < 4; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      const float t = 0.1f + 0.1f * float(x);
+      proj.at(y, x) = 100.0f + t * 1000.0f;
+    }
+  }
+  normalize(proj, dark, flat);
+  for (std::size_t y = 0; y < 4; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      EXPECT_NEAR(proj.at(y, x), 0.1f + 0.1f * float(x), 1e-5f);
+    }
+  }
+}
+
+TEST(Normalize, ClampsBelowMinimum) {
+  Image dark(1, 4, 100.0f);
+  Image flat(1, 4, 1100.0f);
+  Image proj(1, 4, 50.0f);  // below dark: would be negative
+  normalize(proj, dark, flat, 1e-4f);
+  for (float v : proj.span()) EXPECT_FLOAT_EQ(v, 1e-4f);
+}
+
+TEST(Normalize, HandlesDeadPixelFlatEqualsDark) {
+  Image dark(1, 2, 100.0f);
+  Image flat(1, 2, 100.0f);  // dead pixel: flat == dark
+  Image proj(1, 2, 150.0f);
+  normalize(proj, dark, flat);
+  for (float v : proj.span()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(MinusLog, BeerLambert) {
+  Image proj(1, 3);
+  proj.at(0, 0) = 1.0f;
+  proj.at(0, 1) = float(std::exp(-2.0));
+  proj.at(0, 2) = 0.5f;
+  minus_log(proj);
+  EXPECT_NEAR(proj.at(0, 0), 0.0f, 1e-6f);
+  EXPECT_NEAR(proj.at(0, 1), 2.0f, 1e-5f);
+  EXPECT_NEAR(proj.at(0, 2), float(std::log(2.0)), 1e-5f);
+}
+
+TEST(NormalizeMinusLogRoundTrip, RecoversLineIntegrals) {
+  // Full physics round trip: line integrals -> counts -> normalize ->
+  // minus_log recovers the integrals.
+  Geometry geo{16, 32, -1.0};
+  Image sino = analytic_sinogram(shepp_logan_ellipses(), geo);
+  const float i0 = 10000.0f, dark_level = 50.0f;
+  Image raw(geo.n_angles, geo.n_det);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    raw.data()[i] = dark_level + i0 * std::exp(-sino.data()[i]);
+  }
+  Image dark(geo.n_angles, geo.n_det, dark_level);
+  Image flat(geo.n_angles, geo.n_det, dark_level + i0);
+  normalize(raw, dark, flat);
+  minus_log(raw);
+  EXPECT_LT(rmse(raw, sino), 1e-4);
+}
+
+TEST(RemoveRings, SuppressesStripeArtifact) {
+  // A constant per-column gain error shows as a vertical stripe in the
+  // sinogram (a ring after reconstruction). remove_rings should erase it.
+  Geometry geo{64, 64, -1.0};
+  Image clean = analytic_sinogram(shepp_logan_ellipses(), geo);
+  Image dirty = clean;
+  for (std::size_t a = 0; a < geo.n_angles; ++a) {
+    dirty.at(a, 20) += 0.5f;  // hot column
+    dirty.at(a, 40) -= 0.3f;  // cold column
+  }
+  remove_rings(dirty);
+  EXPECT_LT(rmse(dirty, clean), 0.04);
+}
+
+TEST(RemoveRings, NearlyPreservesCleanSinogram) {
+  Geometry geo{32, 48, -1.0};
+  Image clean = analytic_sinogram(shepp_logan_ellipses(), geo);
+  Image processed = clean;
+  remove_rings(processed);
+  // Smooth structure passes through with only small distortion.
+  EXPECT_LT(rmse(processed, clean), 0.05);
+}
+
+TEST(ImageEntropy, UniformImageIsZero) {
+  Image flat_img(16, 16, 3.0f);
+  EXPECT_DOUBLE_EQ(image_entropy(flat_img), 0.0);
+}
+
+TEST(ImageEntropy, NoiseHasHighEntropy) {
+  Rng rng(3);
+  Image noise(32, 32);
+  for (auto& p : noise.span()) p = float(rng.uniform(0, 1));
+  Image binary(32, 32);
+  for (std::size_t i = 0; i < binary.size(); ++i) {
+    binary.data()[i] = (i % 7 == 0) ? 1.0f : 0.0f;
+  }
+  EXPECT_GT(image_entropy(noise), image_entropy(binary));
+}
+
+TEST(FindCenterSymmetry, RecoversTrueRotationAxis) {
+  const std::size_t n = 128;
+  for (double offset : {-9.0, -3.5, 0.0, 4.0, 11.0}) {
+    const double true_center = double(n) / 2.0 - 0.5 + offset;
+    Geometry geo{180, n, true_center};
+    Image sino = analytic_sinogram(shepp_logan_ellipses(), geo);
+    const double found = find_center_symmetry(sino, geo);
+    EXPECT_NEAR(found, true_center, 1.0) << "offset " << offset;
+  }
+}
+
+TEST(FindCenterSymmetry, SubBinAccuracyWhenCentered) {
+  const std::size_t n = 128;
+  Geometry geo{360, n, -1.0};
+  Image sino = analytic_sinogram(shepp_logan_ellipses(), geo);
+  const double found = find_center_symmetry(sino, geo);
+  EXPECT_NEAR(found, geo.center_or_default(), 0.5);
+}
+
+TEST(FindCenter, DefaultCenterFoundForCenteredScan) {
+  const std::size_t n = 64;
+  Geometry geo{90, n, -1.0};
+  Image sino = analytic_sinogram(shepp_logan_ellipses(), geo);
+  const double expected = geo.center_or_default();
+  const double found = find_center(sino, geo, expected - 6, expected + 6, 0.5);
+  EXPECT_NEAR(found, expected, 1.0);
+}
+
+}  // namespace
+}  // namespace alsflow::tomo

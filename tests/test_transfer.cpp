@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+#include "sim/engine.hpp"
+#include "storage/endpoint.hpp"
+#include "transfer/transfer_service.hpp"
+
+namespace alsflow::transfer {
+namespace {
+
+using sim::Engine;
+using storage::StorageEndpoint;
+using storage::Tier;
+
+struct World {
+  Engine eng;
+  StorageEndpoint beamline{"beamline", Tier::BeamlineLocal, 100 * TiB};
+  StorageEndpoint cfs{"cfs", Tier::Cfs, 100 * TiB};
+  net::Link esnet{eng, "esnet", gbps(10), 0.05};
+  TransferService svc{eng};
+
+  World() {
+    svc.add_route("beamline", "cfs", &esnet);
+    svc.add_route("cfs", "beamline", &esnet);
+    // Keep deterministic timing simple in unit tests.
+    svc.tuning().per_task_overhead = 1.0;
+    svc.tuning().per_file_overhead = 0.0;
+    svc.tuning().checksum_rate = 0.0;
+    svc.tuning().retry_delay = 1.0;
+  }
+
+  TransferOutcome run(TransferSpec spec) {
+    auto fut = svc.submit(std::move(spec));
+    eng.run();
+    return fut.value();
+  }
+};
+
+TEST(Transfer, MovesFileWithChecksum) {
+  World w;
+  ASSERT_TRUE(w.beamline.put("/raw/s1.ah5", 20 * GB, 0xFEED, 0.0).ok());
+  TransferSpec spec;
+  spec.src = &w.beamline;
+  spec.dst = &w.cfs;
+  spec.files = {{"/raw/s1.ah5", "/als/raw/s1.ah5"}};
+  auto out = w.run(std::move(spec));
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_EQ(out.files_ok, 1u);
+  EXPECT_EQ(out.bytes_moved, 20 * GB);
+  auto landed = w.cfs.stat("/als/raw/s1.ah5");
+  ASSERT_TRUE(landed.ok());
+  EXPECT_EQ(landed.value().checksum, 0xFEEDu);
+}
+
+TEST(Transfer, DurationMatchesBandwidth) {
+  World w;
+  ASSERT_TRUE(w.beamline.put("/raw/s1.ah5", 25 * GB, 1, 0.0).ok());
+  TransferSpec spec;
+  spec.src = &w.beamline;
+  spec.dst = &w.cfs;
+  spec.files = {{"/raw/s1.ah5", "/x"}};
+  auto out = w.run(std::move(spec));
+  // 25 GB at 10 Gbps (1.25 GB/s) = 20 s + 1 s task overhead + latency.
+  EXPECT_NEAR(out.duration(), 21.05, 0.1);
+}
+
+TEST(Transfer, MissingSourceFails) {
+  World w;
+  TransferSpec spec;
+  spec.src = &w.beamline;
+  spec.dst = &w.cfs;
+  spec.files = {{"/raw/missing", "/x"}};
+  auto out = w.run(std::move(spec));
+  EXPECT_FALSE(out.status.ok());
+  EXPECT_EQ(out.status.error().code, "not_found");
+  EXPECT_EQ(out.files_failed, 1u);
+}
+
+TEST(Transfer, NoRouteFailsImmediately) {
+  World w;
+  StorageEndpoint eagle("eagle", Tier::Eagle, TiB);
+  ASSERT_TRUE(w.beamline.put("/raw/a", 1, 0, 0.0).ok());
+  TransferSpec spec;
+  spec.src = &w.beamline;
+  spec.dst = &eagle;
+  spec.files = {{"/raw/a", "/x"}};
+  auto out = w.run(std::move(spec));
+  EXPECT_EQ(out.status.error().code, "no_route");
+}
+
+TEST(Transfer, MultiFileAggregates) {
+  World w;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        w.beamline.put("/raw/f" + std::to_string(i), GB, i, 0.0).ok());
+  }
+  TransferSpec spec;
+  spec.src = &w.beamline;
+  spec.dst = &w.cfs;
+  for (int i = 0; i < 5; ++i) {
+    spec.files.push_back(
+        {"/raw/f" + std::to_string(i), "/dst/f" + std::to_string(i)});
+  }
+  auto out = w.run(std::move(spec));
+  EXPECT_EQ(out.files_ok, 5u);
+  EXPECT_EQ(out.bytes_moved, 5 * GB);
+  EXPECT_EQ(w.cfs.list("/dst/").size(), 5u);
+}
+
+TEST(Transfer, CorruptionRetriedWhenVerifying) {
+  World w;
+  w.svc.set_corruption_rate(0.5);
+  ASSERT_TRUE(w.beamline.put("/raw/a", GB, 0x1234, 0.0).ok());
+  TransferSpec spec;
+  spec.src = &w.beamline;
+  spec.dst = &w.cfs;
+  spec.files = {{"/raw/a", "/x"}};
+  spec.verify_checksum = true;
+  auto out = w.run(std::move(spec));
+  // With p=0.5 and 3 retries the chance of total failure is 1/16; the
+  // seeded RNG makes this deterministic - assert what actually happens:
+  if (out.status.ok()) {
+    EXPECT_EQ(w.cfs.stat("/x").value().checksum, 0x1234u);
+  } else {
+    EXPECT_EQ(out.status.error().code, "retries_exhausted");
+  }
+}
+
+TEST(Transfer, CorruptionAlwaysRecoveredEventually) {
+  // Statistical property over many files: with verification on, every
+  // *successful* file has the correct checksum.
+  World w;
+  w.svc.set_corruption_rate(0.3);
+  TransferSpec spec;
+  spec.src = &w.beamline;
+  spec.dst = &w.cfs;
+  for (int i = 0; i < 50; ++i) {
+    std::string p = "/raw/f" + std::to_string(i);
+    ASSERT_TRUE(w.beamline.put(p, MB, 1000 + std::uint64_t(i), 0.0).ok());
+    spec.files.push_back({p, "/dst/f" + std::to_string(i)});
+  }
+  auto out = w.run(std::move(spec));
+  EXPECT_GT(out.retries, 0);
+  for (int i = 0; i < 50; ++i) {
+    auto landed = w.cfs.stat("/dst/f" + std::to_string(i));
+    if (landed.ok() && out.files_ok == 50) {
+      EXPECT_EQ(landed.value().checksum, 1000 + std::uint64_t(i));
+    }
+  }
+}
+
+TEST(Transfer, CorruptionUndetectedWithoutVerification) {
+  // The ablation: checksums off -> corrupted copies land silently.
+  World w;
+  w.svc.set_corruption_rate(1.0);  // every copy corrupts
+  ASSERT_TRUE(w.beamline.put("/raw/a", GB, 0x1234, 0.0).ok());
+  TransferSpec spec;
+  spec.src = &w.beamline;
+  spec.dst = &w.cfs;
+  spec.files = {{"/raw/a", "/x"}};
+  spec.verify_checksum = false;
+  auto out = w.run(std::move(spec));
+  EXPECT_TRUE(out.status.ok());  // "succeeds"...
+  EXPECT_NE(w.cfs.stat("/x").value().checksum, 0x1234u);  // ...corrupted
+  EXPECT_EQ(out.retries, 0);
+}
+
+TEST(Transfer, PermissionDeniedIsPermanent) {
+  World w;
+  w.cfs.deny("put", "/protected/");
+  ASSERT_TRUE(w.beamline.put("/raw/a", GB, 1, 0.0).ok());
+  TransferSpec spec;
+  spec.src = &w.beamline;
+  spec.dst = &w.cfs;
+  spec.files = {{"/raw/a", "/protected/x"}};
+  auto out = w.run(std::move(spec));
+  EXPECT_EQ(out.status.error().code, "permission_denied");
+  EXPECT_EQ(out.retries, 0);  // fail-early: no pointless retries
+}
+
+TEST(Transfer, TransientFailuresRetried) {
+  World w;
+  w.svc.set_transient_failure_rate(0.4);
+  TransferSpec spec;
+  spec.src = &w.beamline;
+  spec.dst = &w.cfs;
+  for (int i = 0; i < 30; ++i) {
+    std::string p = "/raw/g" + std::to_string(i);
+    ASSERT_TRUE(w.beamline.put(p, MB, 7, 0.0).ok());
+    spec.files.push_back({p, "/dst/g" + std::to_string(i)});
+  }
+  auto out = w.run(std::move(spec));
+  EXPECT_GT(out.retries, 0);
+  EXPECT_GT(out.files_ok, 20u);  // most files make it through retries
+}
+
+TEST(Transfer, HistoryRecorded) {
+  World w;
+  ASSERT_TRUE(w.beamline.put("/raw/a", GB, 1, 0.0).ok());
+  TransferSpec spec;
+  spec.src = &w.beamline;
+  spec.dst = &w.cfs;
+  spec.files = {{"/raw/a", "/x"}};
+  spec.label = "new_file_832:copy";
+  (void)w.run(std::move(spec));
+  ASSERT_EQ(w.svc.history().size(), 1u);
+  EXPECT_EQ(w.svc.history()[0].label, "new_file_832:copy");
+  EXPECT_EQ(w.svc.total_bytes_moved(), GB);
+}
+
+TEST(Transfer, ChecksumTimeCostModeled) {
+  World w;
+  w.svc.tuning().checksum_rate = 1e9;  // 1 GB/s verification read
+  ASSERT_TRUE(w.beamline.put("/raw/a", 10 * GB, 1, 0.0).ok());
+  TransferSpec with;
+  with.src = &w.beamline;
+  with.dst = &w.cfs;
+  with.files = {{"/raw/a", "/x"}};
+  with.verify_checksum = true;
+  auto out_with = w.run(std::move(with));
+
+  World w2;
+  w2.svc.tuning().checksum_rate = 1e9;
+  ASSERT_TRUE(w2.beamline.put("/raw/a", 10 * GB, 1, 0.0).ok());
+  TransferSpec without;
+  without.src = &w2.beamline;
+  without.dst = &w2.cfs;
+  without.files = {{"/raw/a", "/x"}};
+  without.verify_checksum = false;
+  auto out_without = w2.run(std::move(without));
+
+  EXPECT_NEAR(out_with.duration() - out_without.duration(), 10.0, 0.1);
+}
+
+}  // namespace
+}  // namespace alsflow::transfer
