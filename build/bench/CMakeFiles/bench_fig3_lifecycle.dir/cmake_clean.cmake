@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_lifecycle.dir/bench_fig3_lifecycle.cpp.o"
+  "CMakeFiles/bench_fig3_lifecycle.dir/bench_fig3_lifecycle.cpp.o.d"
+  "bench_fig3_lifecycle"
+  "bench_fig3_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prune_incident.dir/bench_prune_incident.cpp.o"
+  "CMakeFiles/bench_prune_incident.dir/bench_prune_incident.cpp.o.d"
+  "bench_prune_incident"
+  "bench_prune_incident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prune_incident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qos_ablation.dir/bench_qos_ablation.cpp.o"
+  "CMakeFiles/bench_qos_ablation.dir/bench_qos_ablation.cpp.o.d"
+  "bench_qos_ablation"
+  "bench_qos_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qos_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speedup_vs_historical.dir/bench_speedup_vs_historical.cpp.o"
+  "CMakeFiles/bench_speedup_vs_historical.dir/bench_speedup_vs_historical.cpp.o.d"
+  "bench_speedup_vs_historical"
+  "bench_speedup_vs_historical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speedup_vs_historical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_archetypes.dir/bench_table1_archetypes.cpp.o"
+  "CMakeFiles/bench_table1_archetypes.dir/bench_table1_archetypes.cpp.o.d"
+  "bench_table1_archetypes"
+  "bench_table1_archetypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_archetypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feather_morphology.dir/feather_morphology.cpp.o"
+  "CMakeFiles/feather_morphology.dir/feather_morphology.cpp.o.d"
+  "feather_morphology"
+  "feather_morphology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feather_morphology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

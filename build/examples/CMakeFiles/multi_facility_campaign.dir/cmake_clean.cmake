@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_facility_campaign.dir/multi_facility_campaign.cpp.o"
+  "CMakeFiles/multi_facility_campaign.dir/multi_facility_campaign.cpp.o.d"
+  "multi_facility_campaign"
+  "multi_facility_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_facility_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proppant_retrospective.dir/proppant_retrospective.cpp.o"
+  "CMakeFiles/proppant_retrospective.dir/proppant_retrospective.cpp.o.d"
+  "proppant_retrospective"
+  "proppant_retrospective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proppant_retrospective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_preview.dir/streaming_preview.cpp.o"
+  "CMakeFiles/streaming_preview.dir/streaming_preview.cpp.o.d"
+  "streaming_preview"
+  "streaming_preview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_preview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_resolved_4d.dir/time_resolved_4d.cpp.o"
+  "CMakeFiles/time_resolved_4d.dir/time_resolved_4d.cpp.o.d"
+  "time_resolved_4d"
+  "time_resolved_4d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_resolved_4d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for time_resolved_4d.
+# This may be replaced when dependencies are built.

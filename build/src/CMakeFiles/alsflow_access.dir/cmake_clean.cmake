@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alsflow_access.dir/access/render.cpp.o"
+  "CMakeFiles/alsflow_access.dir/access/render.cpp.o.d"
+  "CMakeFiles/alsflow_access.dir/access/tiled.cpp.o"
+  "CMakeFiles/alsflow_access.dir/access/tiled.cpp.o.d"
+  "libalsflow_access.a"
+  "libalsflow_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alsflow_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alsflow_beamline.dir/beamline/detector.cpp.o"
+  "CMakeFiles/alsflow_beamline.dir/beamline/detector.cpp.o.d"
+  "CMakeFiles/alsflow_beamline.dir/beamline/file_writer.cpp.o"
+  "CMakeFiles/alsflow_beamline.dir/beamline/file_writer.cpp.o.d"
+  "libalsflow_beamline.a"
+  "libalsflow_beamline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alsflow_beamline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

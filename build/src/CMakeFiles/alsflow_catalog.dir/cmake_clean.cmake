@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alsflow_catalog.dir/catalog/scicat.cpp.o"
+  "CMakeFiles/alsflow_catalog.dir/catalog/scicat.cpp.o.d"
+  "libalsflow_catalog.a"
+  "libalsflow_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alsflow_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

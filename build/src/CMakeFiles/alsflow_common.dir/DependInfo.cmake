@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/checksum.cpp" "src/CMakeFiles/alsflow_common.dir/common/checksum.cpp.o" "gcc" "src/CMakeFiles/alsflow_common.dir/common/checksum.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/alsflow_common.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/alsflow_common.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/alsflow_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/alsflow_common.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/alsflow_common.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/alsflow_common.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/CMakeFiles/alsflow_common.dir/common/units.cpp.o" "gcc" "src/CMakeFiles/alsflow_common.dir/common/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

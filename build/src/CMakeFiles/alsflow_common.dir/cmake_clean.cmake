@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alsflow_common.dir/common/checksum.cpp.o"
+  "CMakeFiles/alsflow_common.dir/common/checksum.cpp.o.d"
+  "CMakeFiles/alsflow_common.dir/common/log.cpp.o"
+  "CMakeFiles/alsflow_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/alsflow_common.dir/common/rng.cpp.o"
+  "CMakeFiles/alsflow_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/alsflow_common.dir/common/stats.cpp.o"
+  "CMakeFiles/alsflow_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/alsflow_common.dir/common/units.cpp.o"
+  "CMakeFiles/alsflow_common.dir/common/units.cpp.o.d"
+  "libalsflow_common.a"
+  "libalsflow_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alsflow_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

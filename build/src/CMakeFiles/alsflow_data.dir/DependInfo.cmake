@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/ah5.cpp" "src/CMakeFiles/alsflow_data.dir/data/ah5.cpp.o" "gcc" "src/CMakeFiles/alsflow_data.dir/data/ah5.cpp.o.d"
+  "/root/repo/src/data/multiscale.cpp" "src/CMakeFiles/alsflow_data.dir/data/multiscale.cpp.o" "gcc" "src/CMakeFiles/alsflow_data.dir/data/multiscale.cpp.o.d"
+  "/root/repo/src/data/scan_meta.cpp" "src/CMakeFiles/alsflow_data.dir/data/scan_meta.cpp.o" "gcc" "src/CMakeFiles/alsflow_data.dir/data/scan_meta.cpp.o.d"
+  "/root/repo/src/data/tiff.cpp" "src/CMakeFiles/alsflow_data.dir/data/tiff.cpp.o" "gcc" "src/CMakeFiles/alsflow_data.dir/data/tiff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alsflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_tomo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

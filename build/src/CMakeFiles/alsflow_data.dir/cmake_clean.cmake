@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alsflow_data.dir/data/ah5.cpp.o"
+  "CMakeFiles/alsflow_data.dir/data/ah5.cpp.o.d"
+  "CMakeFiles/alsflow_data.dir/data/multiscale.cpp.o"
+  "CMakeFiles/alsflow_data.dir/data/multiscale.cpp.o.d"
+  "CMakeFiles/alsflow_data.dir/data/scan_meta.cpp.o"
+  "CMakeFiles/alsflow_data.dir/data/scan_meta.cpp.o.d"
+  "CMakeFiles/alsflow_data.dir/data/tiff.cpp.o"
+  "CMakeFiles/alsflow_data.dir/data/tiff.cpp.o.d"
+  "libalsflow_data.a"
+  "libalsflow_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alsflow_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/engine.cpp" "src/CMakeFiles/alsflow_flow.dir/flow/engine.cpp.o" "gcc" "src/CMakeFiles/alsflow_flow.dir/flow/engine.cpp.o.d"
+  "/root/repo/src/flow/run_db.cpp" "src/CMakeFiles/alsflow_flow.dir/flow/run_db.cpp.o" "gcc" "src/CMakeFiles/alsflow_flow.dir/flow/run_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alsflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alsflow_flow.dir/flow/engine.cpp.o"
+  "CMakeFiles/alsflow_flow.dir/flow/engine.cpp.o.d"
+  "CMakeFiles/alsflow_flow.dir/flow/run_db.cpp.o"
+  "CMakeFiles/alsflow_flow.dir/flow/run_db.cpp.o.d"
+  "libalsflow_flow.a"
+  "libalsflow_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alsflow_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpc/adapter.cpp" "src/CMakeFiles/alsflow_hpc.dir/hpc/adapter.cpp.o" "gcc" "src/CMakeFiles/alsflow_hpc.dir/hpc/adapter.cpp.o.d"
+  "/root/repo/src/hpc/cloud.cpp" "src/CMakeFiles/alsflow_hpc.dir/hpc/cloud.cpp.o" "gcc" "src/CMakeFiles/alsflow_hpc.dir/hpc/cloud.cpp.o.d"
+  "/root/repo/src/hpc/compute_model.cpp" "src/CMakeFiles/alsflow_hpc.dir/hpc/compute_model.cpp.o" "gcc" "src/CMakeFiles/alsflow_hpc.dir/hpc/compute_model.cpp.o.d"
+  "/root/repo/src/hpc/globus_compute.cpp" "src/CMakeFiles/alsflow_hpc.dir/hpc/globus_compute.cpp.o" "gcc" "src/CMakeFiles/alsflow_hpc.dir/hpc/globus_compute.cpp.o.d"
+  "/root/repo/src/hpc/sfapi.cpp" "src/CMakeFiles/alsflow_hpc.dir/hpc/sfapi.cpp.o" "gcc" "src/CMakeFiles/alsflow_hpc.dir/hpc/sfapi.cpp.o.d"
+  "/root/repo/src/hpc/slurm.cpp" "src/CMakeFiles/alsflow_hpc.dir/hpc/slurm.cpp.o" "gcc" "src/CMakeFiles/alsflow_hpc.dir/hpc/slurm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alsflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_tomo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

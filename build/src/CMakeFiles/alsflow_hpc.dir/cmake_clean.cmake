@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alsflow_hpc.dir/hpc/adapter.cpp.o"
+  "CMakeFiles/alsflow_hpc.dir/hpc/adapter.cpp.o.d"
+  "CMakeFiles/alsflow_hpc.dir/hpc/cloud.cpp.o"
+  "CMakeFiles/alsflow_hpc.dir/hpc/cloud.cpp.o.d"
+  "CMakeFiles/alsflow_hpc.dir/hpc/compute_model.cpp.o"
+  "CMakeFiles/alsflow_hpc.dir/hpc/compute_model.cpp.o.d"
+  "CMakeFiles/alsflow_hpc.dir/hpc/globus_compute.cpp.o"
+  "CMakeFiles/alsflow_hpc.dir/hpc/globus_compute.cpp.o.d"
+  "CMakeFiles/alsflow_hpc.dir/hpc/sfapi.cpp.o"
+  "CMakeFiles/alsflow_hpc.dir/hpc/sfapi.cpp.o.d"
+  "CMakeFiles/alsflow_hpc.dir/hpc/slurm.cpp.o"
+  "CMakeFiles/alsflow_hpc.dir/hpc/slurm.cpp.o.d"
+  "libalsflow_hpc.a"
+  "libalsflow_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alsflow_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

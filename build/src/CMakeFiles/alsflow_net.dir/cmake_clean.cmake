@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alsflow_net.dir/net/link.cpp.o"
+  "CMakeFiles/alsflow_net.dir/net/link.cpp.o.d"
+  "libalsflow_net.a"
+  "libalsflow_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alsflow_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

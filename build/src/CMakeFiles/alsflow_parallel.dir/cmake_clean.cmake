@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alsflow_parallel.dir/parallel/thread_pool.cpp.o"
+  "CMakeFiles/alsflow_parallel.dir/parallel/thread_pool.cpp.o.d"
+  "libalsflow_parallel.a"
+  "libalsflow_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alsflow_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalsflow_parallel.a"
+)

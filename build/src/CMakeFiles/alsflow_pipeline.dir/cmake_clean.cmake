@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alsflow_pipeline.dir/pipeline/campaign.cpp.o"
+  "CMakeFiles/alsflow_pipeline.dir/pipeline/campaign.cpp.o.d"
+  "CMakeFiles/alsflow_pipeline.dir/pipeline/facility.cpp.o"
+  "CMakeFiles/alsflow_pipeline.dir/pipeline/facility.cpp.o.d"
+  "CMakeFiles/alsflow_pipeline.dir/pipeline/streaming_service.cpp.o"
+  "CMakeFiles/alsflow_pipeline.dir/pipeline/streaming_service.cpp.o.d"
+  "libalsflow_pipeline.a"
+  "libalsflow_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alsflow_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

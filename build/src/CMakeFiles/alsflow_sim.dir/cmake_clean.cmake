@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alsflow_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/alsflow_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/alsflow_sim.dir/sim/task.cpp.o"
+  "CMakeFiles/alsflow_sim.dir/sim/task.cpp.o.d"
+  "libalsflow_sim.a"
+  "libalsflow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alsflow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alsflow_storage.dir/storage/endpoint.cpp.o"
+  "CMakeFiles/alsflow_storage.dir/storage/endpoint.cpp.o.d"
+  "CMakeFiles/alsflow_storage.dir/storage/retention.cpp.o"
+  "CMakeFiles/alsflow_storage.dir/storage/retention.cpp.o.d"
+  "libalsflow_storage.a"
+  "libalsflow_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alsflow_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

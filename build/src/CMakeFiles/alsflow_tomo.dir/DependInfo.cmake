@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tomo/fft.cpp" "src/CMakeFiles/alsflow_tomo.dir/tomo/fft.cpp.o" "gcc" "src/CMakeFiles/alsflow_tomo.dir/tomo/fft.cpp.o.d"
+  "/root/repo/src/tomo/filters.cpp" "src/CMakeFiles/alsflow_tomo.dir/tomo/filters.cpp.o" "gcc" "src/CMakeFiles/alsflow_tomo.dir/tomo/filters.cpp.o.d"
+  "/root/repo/src/tomo/image.cpp" "src/CMakeFiles/alsflow_tomo.dir/tomo/image.cpp.o" "gcc" "src/CMakeFiles/alsflow_tomo.dir/tomo/image.cpp.o.d"
+  "/root/repo/src/tomo/metrics.cpp" "src/CMakeFiles/alsflow_tomo.dir/tomo/metrics.cpp.o" "gcc" "src/CMakeFiles/alsflow_tomo.dir/tomo/metrics.cpp.o.d"
+  "/root/repo/src/tomo/phantom.cpp" "src/CMakeFiles/alsflow_tomo.dir/tomo/phantom.cpp.o" "gcc" "src/CMakeFiles/alsflow_tomo.dir/tomo/phantom.cpp.o.d"
+  "/root/repo/src/tomo/preprocess.cpp" "src/CMakeFiles/alsflow_tomo.dir/tomo/preprocess.cpp.o" "gcc" "src/CMakeFiles/alsflow_tomo.dir/tomo/preprocess.cpp.o.d"
+  "/root/repo/src/tomo/projector.cpp" "src/CMakeFiles/alsflow_tomo.dir/tomo/projector.cpp.o" "gcc" "src/CMakeFiles/alsflow_tomo.dir/tomo/projector.cpp.o.d"
+  "/root/repo/src/tomo/recon.cpp" "src/CMakeFiles/alsflow_tomo.dir/tomo/recon.cpp.o" "gcc" "src/CMakeFiles/alsflow_tomo.dir/tomo/recon.cpp.o.d"
+  "/root/repo/src/tomo/streaming.cpp" "src/CMakeFiles/alsflow_tomo.dir/tomo/streaming.cpp.o" "gcc" "src/CMakeFiles/alsflow_tomo.dir/tomo/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alsflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alsflow_tomo.dir/tomo/fft.cpp.o"
+  "CMakeFiles/alsflow_tomo.dir/tomo/fft.cpp.o.d"
+  "CMakeFiles/alsflow_tomo.dir/tomo/filters.cpp.o"
+  "CMakeFiles/alsflow_tomo.dir/tomo/filters.cpp.o.d"
+  "CMakeFiles/alsflow_tomo.dir/tomo/image.cpp.o"
+  "CMakeFiles/alsflow_tomo.dir/tomo/image.cpp.o.d"
+  "CMakeFiles/alsflow_tomo.dir/tomo/metrics.cpp.o"
+  "CMakeFiles/alsflow_tomo.dir/tomo/metrics.cpp.o.d"
+  "CMakeFiles/alsflow_tomo.dir/tomo/phantom.cpp.o"
+  "CMakeFiles/alsflow_tomo.dir/tomo/phantom.cpp.o.d"
+  "CMakeFiles/alsflow_tomo.dir/tomo/preprocess.cpp.o"
+  "CMakeFiles/alsflow_tomo.dir/tomo/preprocess.cpp.o.d"
+  "CMakeFiles/alsflow_tomo.dir/tomo/projector.cpp.o"
+  "CMakeFiles/alsflow_tomo.dir/tomo/projector.cpp.o.d"
+  "CMakeFiles/alsflow_tomo.dir/tomo/recon.cpp.o"
+  "CMakeFiles/alsflow_tomo.dir/tomo/recon.cpp.o.d"
+  "CMakeFiles/alsflow_tomo.dir/tomo/streaming.cpp.o"
+  "CMakeFiles/alsflow_tomo.dir/tomo/streaming.cpp.o.d"
+  "libalsflow_tomo.a"
+  "libalsflow_tomo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alsflow_tomo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

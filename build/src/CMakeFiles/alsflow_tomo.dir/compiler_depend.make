@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for alsflow_tomo.
+# This may be replaced when dependencies are built.

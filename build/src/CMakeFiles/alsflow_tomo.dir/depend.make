@@ -1,0 +1,2 @@
+# Empty dependencies file for alsflow_tomo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transfer/transfer_service.cpp" "src/CMakeFiles/alsflow_transfer.dir/transfer/transfer_service.cpp.o" "gcc" "src/CMakeFiles/alsflow_transfer.dir/transfer/transfer_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alsflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_tomo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

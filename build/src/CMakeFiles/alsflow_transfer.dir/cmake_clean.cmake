@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alsflow_transfer.dir/transfer/transfer_service.cpp.o"
+  "CMakeFiles/alsflow_transfer.dir/transfer/transfer_service.cpp.o.d"
+  "libalsflow_transfer.a"
+  "libalsflow_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alsflow_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beamline.dir/test_beamline.cpp.o"
+  "CMakeFiles/test_beamline.dir/test_beamline.cpp.o.d"
+  "test_beamline"
+  "test_beamline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beamline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_catalog_access.dir/test_catalog_access.cpp.o"
+  "CMakeFiles/test_catalog_access.dir/test_catalog_access.cpp.o.d"
+  "test_catalog_access"
+  "test_catalog_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_catalog_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

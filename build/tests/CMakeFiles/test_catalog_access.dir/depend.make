@@ -1,0 +1,2 @@
+# Empty dependencies file for test_catalog_access.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpc.dir/test_hpc.cpp.o"
+  "CMakeFiles/test_hpc.dir/test_hpc.cpp.o.d"
+  "test_hpc"
+  "test_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tomo_fft.dir/test_tomo_fft.cpp.o"
+  "CMakeFiles/test_tomo_fft.dir/test_tomo_fft.cpp.o.d"
+  "test_tomo_fft"
+  "test_tomo_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tomo_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tomo_metrics.cpp" "tests/CMakeFiles/test_tomo_metrics.dir/test_tomo_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_tomo_metrics.dir/test_tomo_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alsflow_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_beamline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_tomo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alsflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

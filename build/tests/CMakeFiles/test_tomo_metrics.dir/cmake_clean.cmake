@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tomo_metrics.dir/test_tomo_metrics.cpp.o"
+  "CMakeFiles/test_tomo_metrics.dir/test_tomo_metrics.cpp.o.d"
+  "test_tomo_metrics"
+  "test_tomo_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tomo_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

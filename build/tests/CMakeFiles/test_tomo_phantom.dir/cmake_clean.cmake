@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tomo_phantom.dir/test_tomo_phantom.cpp.o"
+  "CMakeFiles/test_tomo_phantom.dir/test_tomo_phantom.cpp.o.d"
+  "test_tomo_phantom"
+  "test_tomo_phantom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tomo_phantom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tomo_preprocess.dir/test_tomo_preprocess.cpp.o"
+  "CMakeFiles/test_tomo_preprocess.dir/test_tomo_preprocess.cpp.o.d"
+  "test_tomo_preprocess"
+  "test_tomo_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tomo_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tomo_projector.dir/test_tomo_projector.cpp.o"
+  "CMakeFiles/test_tomo_projector.dir/test_tomo_projector.cpp.o.d"
+  "test_tomo_projector"
+  "test_tomo_projector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tomo_projector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tomo_recon.dir/test_tomo_recon.cpp.o"
+  "CMakeFiles/test_tomo_recon.dir/test_tomo_recon.cpp.o.d"
+  "test_tomo_recon"
+  "test_tomo_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tomo_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tomo_streaming.dir/test_tomo_streaming.cpp.o"
+  "CMakeFiles/test_tomo_streaming.dir/test_tomo_streaming.cpp.o.d"
+  "test_tomo_streaming"
+  "test_tomo_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tomo_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
