@@ -8,6 +8,7 @@
 // beamline users see in Figure 1 — then time the same comparison on the
 // historical workstation workflow.
 #include <cstdio>
+#include <vector>
 
 #include "hpc/compute_model.hpp"
 #include "tomo/metrics.hpp"
@@ -41,14 +42,17 @@ tomo::Volume scan_and_reconstruct(const tomo::Volume& specimen,
                                   std::size_t n_angles) {
   const std::size_t n = specimen.nx();
   tomo::Geometry geo{n_angles, n, -1.0};
-  tomo::Volume recon(specimen.nz(), n, n);
+  std::vector<tomo::Image> sinos;
+  sinos.reserve(specimen.nz());
   for (std::size_t z = 0; z < specimen.nz(); ++z) {
     tomo::Image sino = tomo::forward_project(specimen.slice_image(z), geo);
     tomo::remove_rings(sino);
-    recon.set_slice(z, tomo::reconstruct_gridrec(sino, geo, n,
-                                                 tomo::FilterKind::SheppLogan));
+    sinos.push_back(std::move(sino));
   }
-  return recon;
+  tomo::ReconOptions opts;
+  opts.algorithm = tomo::Algorithm::Gridrec;
+  opts.filter = tomo::FilterKind::SheppLogan;
+  return tomo::reconstruct_volume(sinos, geo, n, opts);
 }
 
 }  // namespace

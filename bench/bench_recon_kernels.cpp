@@ -4,6 +4,10 @@
 // trade-off that motivates the dual-path design.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "tomo/phantom.hpp"
 #include "tomo/projector.hpp"
 #include "tomo/recon.hpp"
@@ -66,6 +70,60 @@ void BM_SirtSlice(benchmark::State& state) {
 }
 BENCHMARK(BM_SirtSlice)->Arg(64)->Arg(128);
 
+// Multi-slice volumes through reconstruct_volume: slice-level parallelism
+// on top of the per-kernel parallelism. This is the number the speedup
+// acceptance compares across core counts.
+void BM_FbpVolume(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  const std::size_t n_slices = 8;
+  tomo::Geometry geo{n, n, -1.0};
+  std::vector<tomo::Image> sinos(n_slices, sino_for(n, n));
+  tomo::ReconOptions opts;
+  opts.algorithm = tomo::Algorithm::FBP;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tomo::reconstruct_volume(sinos, geo, n, opts));
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(n_slices * n * n * n));
+}
+BENCHMARK(BM_FbpVolume)->Arg(64)->Arg(128);
+
+void BM_GridrecVolume(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  const std::size_t n_slices = 8;
+  tomo::Geometry geo{n, n, -1.0};
+  std::vector<tomo::Image> sinos(n_slices, sino_for(n, n));
+  tomo::ReconOptions opts;
+  opts.algorithm = tomo::Algorithm::Gridrec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tomo::reconstruct_volume(sinos, geo, n, opts));
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(n_slices * n * n * n));
+}
+BENCHMARK(BM_GridrecVolume)->Arg(64)->Arg(128);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to a JSON file so
+// every run leaves a machine-readable record (BENCH_recon_kernels.json)
+// for cross-machine speedup comparisons. Explicit flags still win.
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strstr(argv[i], "--benchmark_out") != nullptr) has_out = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_recon_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int new_argc = int(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

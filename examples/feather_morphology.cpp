@@ -6,6 +6,7 @@
 // side-by-side comparison that motivates the case study.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "access/render.hpp"
 #include "access/tiled.hpp"
@@ -24,14 +25,17 @@ namespace {
 tomo::Volume reconstruct(const tomo::Volume& specimen, std::size_t n_angles) {
   const std::size_t n = specimen.nx();
   tomo::Geometry geo{n_angles, n, -1.0};
-  tomo::Volume recon(specimen.nz(), n, n);
+  std::vector<tomo::Image> sinos;
+  sinos.reserve(specimen.nz());
   for (std::size_t z = 0; z < specimen.nz(); ++z) {
     tomo::Image sino = tomo::forward_project(specimen.slice_image(z), geo);
     tomo::remove_rings(sino);
-    recon.set_slice(
-        z, tomo::reconstruct_gridrec(sino, geo, n, tomo::FilterKind::SheppLogan));
+    sinos.push_back(std::move(sino));
   }
-  return recon;
+  tomo::ReconOptions opts;
+  opts.algorithm = tomo::Algorithm::Gridrec;
+  opts.filter = tomo::FilterKind::SheppLogan;
+  return tomo::reconstruct_volume(sinos, geo, n, opts);
 }
 
 }  // namespace

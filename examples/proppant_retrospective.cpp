@@ -8,6 +8,7 @@
 // presentation slices.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "access/render.hpp"
 #include "access/tiled.hpp"
@@ -28,16 +29,16 @@ int main() {
   // The "archived raw data": a propped fracture in shale.
   tomo::Volume truth = tomo::proppant_phantom(n, 2020);
 
-  // Reconstruct slice by slice (iterative pass for segmentation quality).
+  // Reconstruct the whole stack in one parallel pass.
   tomo::Geometry geo{n_angles, n, -1.0};
-  tomo::Volume recon(n, n, n);
+  std::vector<tomo::Image> sinos;
+  sinos.reserve(n);
   for (std::size_t z = 0; z < n; ++z) {
-    tomo::Image sino = tomo::forward_project(truth.slice_image(z), geo);
-    recon.set_slice(z, tomo::reconstruct_slice(
-                           sino, geo, n,
-                           {tomo::Algorithm::FBP, tomo::FilterKind::SheppLogan,
-                            0, true}));
+    sinos.push_back(tomo::forward_project(truth.slice_image(z), geo));
   }
+  tomo::Volume recon = tomo::reconstruct_volume(
+      sinos, geo, n,
+      {tomo::Algorithm::FBP, tomo::FilterKind::SheppLogan, 0, true});
   std::printf("reconstruction rmse vs archive ground truth: %.4f\n\n",
               tomo::rmse(truth, recon));
 

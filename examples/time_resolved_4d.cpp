@@ -10,6 +10,7 @@
 // aperture — is tracked through time.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "access/render.hpp"
 #include "access/tiled.hpp"
@@ -26,13 +27,15 @@ namespace {
 tomo::Volume reconstruct(const tomo::Volume& specimen, std::size_t n_angles) {
   const std::size_t n = specimen.nx();
   tomo::Geometry geo{n_angles, n, -1.0};
-  tomo::Volume recon(specimen.nz(), n, n);
+  std::vector<tomo::Image> sinos;
+  sinos.reserve(specimen.nz());
   for (std::size_t z = 0; z < specimen.nz(); ++z) {
-    tomo::Image sino = tomo::forward_project(specimen.slice_image(z), geo);
-    recon.set_slice(z, tomo::reconstruct_fbp(sino, geo, n,
-                                             tomo::FilterKind::SheppLogan));
+    sinos.push_back(tomo::forward_project(specimen.slice_image(z), geo));
   }
-  return recon;
+  tomo::ReconOptions opts;
+  opts.algorithm = tomo::Algorithm::FBP;
+  opts.filter = tomo::FilterKind::SheppLogan;
+  return tomo::reconstruct_volume(sinos, geo, n, opts);
 }
 
 // Propped aperture: open (void or proppant) fraction in the fracture

@@ -37,12 +37,17 @@ sim::Future<FlowRunResult> FlowEngine::run_flow_impl(std::string name,
     result.status = Error::make("unknown_flow", name);
     co_return result;
   }
-  const Registration& reg = reg_it->second;
+  // Copy the registration into the coroutine frame before the first
+  // suspension: re-registering the same flow name while this run is in
+  // flight reassigns the mapped Registration, which would destroy a
+  // referenced FlowFn mid-execution.
+  const FlowFn fn = reg_it->second.fn;
+  const FlowOptions options = reg_it->second.options;
 
   FlowRunResult result;
   result.run_id = db_.create_run(name, sim_.now(), parameters);
 
-  sim::Semaphore& sem = pool(reg.options.work_pool);
+  sim::Semaphore& sem = pool(options.work_pool);
   co_await sem.acquire();
   sim::SemaphoreGuard guard(sem);
 
@@ -50,14 +55,14 @@ sim::Future<FlowRunResult> FlowEngine::run_flow_impl(std::string name,
   Status status = Status::success();
   for (int attempt = 0;; ++attempt) {
     FlowContext ctx{*this, result.run_id, parameters};
-    status = co_await reg.fn(ctx);
-    if (status.ok() || attempt >= reg.options.max_retries) break;
+    status = co_await fn(ctx);
+    if (status.ok() || attempt >= options.max_retries) break;
     db_.add_retry(result.run_id);
     db_.mark_retrying(result.run_id, sim_.now());
     log_warn("prefect") << name << " run " << result.run_id
                         << " failed (" << status.error().code
                         << "); retrying";
-    co_await sim::delay(sim_, reg.options.retry_delay);
+    co_await sim::delay(sim_, options.retry_delay);
     db_.mark_running(result.run_id, sim_.now());
   }
 
@@ -79,8 +84,7 @@ sim::Future<Status> FlowEngine::run_task_impl(
     const FlowContext& ctx, std::string task_name,
     std::function<sim::Future<Status>()> body, TaskOptions options) {
   if (!options.idempotency_key.empty()) {
-    auto it = idempotency_cache_.find(options.idempotency_key);
-    if (it != idempotency_cache_.end() && it->second.ok()) {
+    if (idempotency_cache_.count(options.idempotency_key) != 0) {
       TaskRunRecord rec;
       rec.flow_run_id = ctx.run_id;
       rec.task_name = task_name;
@@ -112,10 +116,24 @@ sim::Future<Status> FlowEngine::run_task_impl(
   rec.state = status.ok() ? RunState::Completed : RunState::Failed;
   rec.error = status.ok() ? "" : status.error().code;
   db_.record_task(rec);
-  if (!options.idempotency_key.empty()) {
-    idempotency_cache_[options.idempotency_key] = status;
+  // Cache *successes* only: recording a failed status would let a later
+  // failed attempt clobber an earlier recorded success for the same key
+  // and defeat skip-on-retry.
+  if (!options.idempotency_key.empty() && status.ok()) {
+    remember_idempotent_success(options.idempotency_key);
   }
   co_return status;
+}
+
+void FlowEngine::remember_idempotent_success(const std::string& key) {
+  if (!idempotency_cache_.insert(key).second) return;  // already cached
+  idempotency_order_.push_back(key);
+  // FIFO bound so long campaigns (millions of task runs) cannot grow the
+  // cache without limit; an evicted key simply re-executes its task.
+  while (idempotency_order_.size() > kIdempotencyCacheCapacity) {
+    idempotency_cache_.erase(idempotency_order_.front());
+    idempotency_order_.pop_front();
+  }
 }
 
 sim::Proc FlowEngine::schedule_loop(std::string name, Seconds interval,

@@ -8,9 +8,11 @@
 // semantics so a retried flow can safely re-execute completed steps.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "common/result.hpp"
@@ -112,6 +114,13 @@ class FlowEngine {
 
   std::size_t registered_flows() const { return flows_.size(); }
 
+  // Successful-task idempotency cache: bounded (FIFO eviction) so long
+  // campaigns don't grow it without limit.
+  static constexpr std::size_t kIdempotencyCacheCapacity = 4096;
+  std::size_t idempotency_cache_size() const {
+    return idempotency_cache_.size();
+  }
+
  private:
   struct Registration {
     FlowFn fn;
@@ -129,12 +138,14 @@ class FlowEngine {
   sim::Proc schedule_loop(std::string name, Seconds interval,
                           Seconds initial_delay, std::string parameters,
                           std::shared_ptr<bool> alive);
+  void remember_idempotent_success(const std::string& key);
 
   sim::Engine& sim_;
   RunDatabase& db_;
   std::map<std::string, Registration> flows_;
   std::map<std::string, std::unique_ptr<sim::Semaphore>> pools_;
-  std::map<std::string, Status> idempotency_cache_;
+  std::set<std::string> idempotency_cache_;       // successful keys only
+  std::deque<std::string> idempotency_order_;     // insertion order (FIFO)
   std::map<int, std::shared_ptr<bool>> schedules_;
   int next_schedule_ = 1;
 };

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace alsflow::parallel {
 
@@ -23,6 +24,16 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+// Execute a task and credit its batch. The decrement happens under the
+// batch mutex so that the owning caller, which re-checks `remaining` under
+// the same mutex, cannot race past the wait and destroy the Batch while we
+// still touch it (see Batch comment in the header).
+void ThreadPool::run_task(const Task& task) {
+  (*task.body)(task.chunk_begin, task.chunk_end);
+  std::lock_guard<std::mutex> lock(task.batch->m);
+  if (--task.batch->remaining == 0) task.batch->cv.notify_all();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
@@ -30,15 +41,10 @@ void ThreadPool::worker_loop() {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
-      task = queue_.back();
+      task = queue_.back();  // LIFO: innermost batches complete first
       queue_.pop_back();
     }
-    (*task.body)(task.chunk_begin, task.chunk_end);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) cv_done_.notify_all();
-    }
+    run_task(task);
   }
 }
 
@@ -57,41 +63,51 @@ void ThreadPool::run_chunks(
     return;
   }
 
-  std::size_t enqueued = 0;
+  // All chunks except the first are offered to the pool; the caller runs
+  // the first itself. The batch lives on this stack frame: `remaining` is
+  // fixed before the tasks become visible (publication ordered by mutex_).
+  Batch batch;
+  std::vector<Task> tasks;
+  tasks.reserve(chunks - 1);
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const std::size_t b = begin + c * chunk_size;
+    if (b >= end) break;
+    tasks.push_back(Task{&body, b, std::min(end, b + chunk_size), &batch});
+  }
+  if (tasks.empty()) {
+    body(begin, end);
+    return;
+  }
+  batch.remaining = tasks.size();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    // Enqueue all chunks except the first, which the caller runs itself.
-    for (std::size_t c = 1; c < chunks; ++c) {
-      std::size_t b = begin + c * chunk_size;
-      if (b >= end) break;
-      std::size_t e = std::min(end, b + chunk_size);
-      queue_.push_back(Task{&body, b, e});
-      ++enqueued;
-    }
-    in_flight_ += enqueued;
+    queue_.insert(queue_.end(), tasks.begin(), tasks.end());
   }
   cv_work_.notify_all();
 
   body(begin, std::min(end, begin + chunk_size));
 
-  // Help drain the queue while waiting (work-sharing, no idle caller).
+  // Help-drain tasks of *this* batch only. Running another caller's chunks
+  // here would couple our latency to theirs and, for nested calls, could
+  // recurse into unrelated work while our own chunks sit queued.
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (queue_.empty()) break;
-      task = queue_.back();
-      queue_.pop_back();
-    }
-    (*task.body)(task.chunk_begin, task.chunk_end);
-    {
       std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) cv_done_.notify_all();
+      auto it = std::find_if(queue_.rbegin(), queue_.rend(),
+                             [&](const Task& t) { return t.batch == &batch; });
+      if (it == queue_.rend()) break;
+      task = *it;
+      queue_.erase(std::next(it).base());
     }
+    run_task(task);
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+
+  // Whatever is left of our batch is currently executing on other threads;
+  // each of those chunks finishes in finite time, so this wait cannot
+  // deadlock even under arbitrary nesting.
+  std::unique_lock<std::mutex> lock(batch.m);
+  batch.cv.wait(lock, [&] { return batch.remaining == 0; });
 }
 
 void ThreadPool::parallel_for_chunks(
@@ -110,7 +126,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("ALSFLOW_NUM_THREADS")) {
+      const long v = std::atol(env);
+      if (v > 0) return std::size_t(v);
+    }
+    return std::size_t(0);  // hardware concurrency
+  }());
   return pool;
 }
 

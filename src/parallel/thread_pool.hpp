@@ -2,9 +2,16 @@
 //
 // The reconstruction library executes real floating-point work; this pool
 // provides OpenMP-style `parallel_for` over index ranges with static
-// chunking. One process-wide default pool (hardware_concurrency threads)
-// serves the tomo kernels; tests construct private pools to exercise
-// specific thread counts.
+// chunking. One process-wide default pool (hardware_concurrency threads,
+// overridable via ALSFLOW_NUM_THREADS) serves the tomo kernels; tests
+// construct private pools to exercise specific thread counts.
+//
+// Reentrancy: every parallel_for invocation owns its completion state (a
+// per-call Batch), so the pool is safe to use concurrently from multiple
+// threads and *recursively* from inside a chunk body. A nested call
+// enqueues its chunks on the shared queue, help-drains only tasks of its
+// own batch, and then waits solely for its own stolen chunks — unrelated
+// callers never couple each other's completion latency.
 #pragma once
 
 #include <condition_variable>
@@ -29,7 +36,9 @@ class ThreadPool {
 
   // Run body(i) for i in [begin, end), split into contiguous chunks across
   // the pool plus the calling thread. Blocks until all iterations finish.
-  // Exceptions thrown by `body` terminate (kernels must not throw).
+  // Safe to call from any thread, including pool workers executing another
+  // parallel_for's chunk body. Exceptions thrown by `body` terminate
+  // (kernels must not throw).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
@@ -39,26 +48,39 @@ class ThreadPool {
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t)>& body);
 
-  // Process-wide shared pool.
+  // Process-wide shared pool. Thread count honours ALSFLOW_NUM_THREADS
+  // when set (benchmarking / pinning), else hardware concurrency.
   static ThreadPool& global();
 
  private:
+  // Per-invocation completion state. Lives on the invoking thread's stack
+  // for the duration of run_chunks; tasks hold a pointer to it. `remaining`
+  // is guarded by `m` (not atomic) so the last decrement and the caller's
+  // wake-up predicate are ordered by the same lock — the caller cannot
+  // observe remaining == 0 and destroy the Batch while a worker still
+  // holds (or is about to take) the lock.
+  struct Batch {
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+  };
+
   struct Task {
     const std::function<void(std::size_t, std::size_t)>* body;
     std::size_t chunk_begin;
     std::size_t chunk_end;
+    Batch* batch;
   };
 
   void worker_loop();
+  static void run_task(const Task& task);
   void run_chunks(const std::function<void(std::size_t, std::size_t)>& body,
                   std::size_t begin, std::size_t end);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  std::mutex mutex_;               // guards queue_ and stop_
   std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  std::vector<Task> queue_;
-  std::size_t in_flight_ = 0;
+  std::vector<Task> queue_;        // LIFO: nested batches drain first
   bool stop_ = false;
 };
 

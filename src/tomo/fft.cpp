@@ -1,9 +1,27 @@
 #include "tomo/fft.hpp"
 
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "parallel/thread_pool.hpp"
 
 namespace alsflow::tomo {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+[[noreturn]] void throw_bad_size(const char* what, std::size_t n) {
+  throw std::invalid_argument(std::string(what) + " must be a power of two, got " +
+                              std::to_string(n));
+}
+
+// Below this many elements the pool dispatch overhead beats the win; the
+// projection-filter transforms (one row) always take the serial path.
+constexpr std::size_t kParallelFft2Threshold = 64 * 64;
+
+}  // namespace
 
 std::size_t next_pow2(std::size_t n) {
   std::size_t p = 1;
@@ -11,9 +29,9 @@ std::size_t next_pow2(std::size_t n) {
   return p;
 }
 
-void fft(std::vector<std::complex<double>>& a, bool inverse) {
+void fft(std::span<std::complex<double>> a, bool inverse) {
   const std::size_t n = a.size();
-  assert((n & (n - 1)) == 0 && "fft size must be a power of two");
+  if (!is_pow2(n)) throw_bad_size("fft size", n);
   if (n <= 1) return;
 
   // Bit-reversal permutation.
@@ -46,24 +64,45 @@ void fft(std::vector<std::complex<double>>& a, bool inverse) {
   }
 }
 
+void fft(std::vector<std::complex<double>>& a, bool inverse) {
+  fft(std::span<std::complex<double>>(a), inverse);
+}
+
 void fft2(std::vector<std::complex<double>>& a, std::size_t ny, std::size_t nx,
           bool inverse) {
-  assert(a.size() == ny * nx);
-  std::vector<std::complex<double>> tmp;
-
-  // Rows.
-  for (std::size_t y = 0; y < ny; ++y) {
-    tmp.assign(a.begin() + std::ptrdiff_t(y * nx),
-               a.begin() + std::ptrdiff_t((y + 1) * nx));
-    fft(tmp, inverse);
-    std::copy(tmp.begin(), tmp.end(), a.begin() + std::ptrdiff_t(y * nx));
+  if (!is_pow2(ny)) throw_bad_size("fft2 ny", ny);
+  if (!is_pow2(nx)) throw_bad_size("fft2 nx", nx);
+  if (a.size() != ny * nx) {
+    throw std::invalid_argument("fft2 buffer size " + std::to_string(a.size()) +
+                                " != ny * nx = " + std::to_string(ny * nx));
   }
-  // Columns.
-  tmp.resize(ny);
-  for (std::size_t x = 0; x < nx; ++x) {
-    for (std::size_t y = 0; y < ny; ++y) tmp[y] = a[y * nx + x];
-    fft(tmp, inverse);
-    for (std::size_t y = 0; y < ny; ++y) a[y * nx + x] = tmp[y];
+  const bool parallel = ny * nx >= kParallelFft2Threshold;
+
+  // Rows: contiguous, transformed in place.
+  auto row_pass = [&](std::size_t y0, std::size_t y1) {
+    for (std::size_t y = y0; y < y1; ++y) {
+      fft(std::span<std::complex<double>>(a.data() + y * nx, nx), inverse);
+    }
+  };
+  if (parallel) {
+    parallel::parallel_for_chunks(0, ny, row_pass);
+  } else {
+    row_pass(0, ny);
+  }
+
+  // Columns: gathered into a per-chunk scratch vector.
+  auto col_pass = [&](std::size_t x0, std::size_t x1) {
+    std::vector<std::complex<double>> tmp(ny);
+    for (std::size_t x = x0; x < x1; ++x) {
+      for (std::size_t y = 0; y < ny; ++y) tmp[y] = a[y * nx + x];
+      fft(tmp, inverse);
+      for (std::size_t y = 0; y < ny; ++y) a[y * nx + x] = tmp[y];
+    }
+  };
+  if (parallel) {
+    parallel::parallel_for_chunks(0, nx, col_pass);
+  } else {
+    col_pass(0, nx);
   }
 }
 

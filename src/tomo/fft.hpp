@@ -3,21 +3,31 @@
 // Used by the projection filters (ramp family) and the gridrec-style direct
 // Fourier reconstructor. Sizes are always padded to powers of two by the
 // callers; double precision keeps filter responses accurate for float data.
+//
+// Sizes are validated with a hard check in all build types: a non-power-of-
+// two length throws std::invalid_argument instead of silently corrupting
+// data in release builds. Callers pad with next_pow2 first.
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace alsflow::tomo {
 
 std::size_t next_pow2(std::size_t n);
 
-// In-place FFT of a power-of-two-length vector. `inverse` applies the
+// In-place FFT of a power-of-two-length buffer. `inverse` applies the
 // conjugate transform and scales by 1/N (so ifft(fft(x)) == x).
+// Throws std::invalid_argument when the length is not a power of two.
+void fft(std::span<std::complex<double>> a, bool inverse);
 void fft(std::vector<std::complex<double>>& a, bool inverse);
 
 // In-place 2-D FFT of a row-major ny x nx (both powers of two) buffer.
+// Row and column passes run on the thread pool for large transforms.
+// Throws std::invalid_argument on non-power-of-two dimensions or a buffer
+// whose size differs from ny * nx.
 void fft2(std::vector<std::complex<double>>& a, std::size_t ny, std::size_t nx,
           bool inverse);
 

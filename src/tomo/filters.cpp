@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
 #include "tomo/fft.hpp"
 
 namespace alsflow::tomo {
@@ -81,25 +82,37 @@ ProjectionFilter::ProjectionFilter(FilterKind kind, std::size_t n_det)
 
 void ProjectionFilter::apply(std::span<const float> in,
                              std::span<float> out) const {
+  std::vector<std::complex<double>> scratch;
+  apply_with_scratch(in, out, scratch);
+}
+
+void ProjectionFilter::apply_with_scratch(
+    std::span<const float> in, std::span<float> out,
+    std::vector<std::complex<double>>& scratch) const {
   assert(in.size() == n_det_ && out.size() == n_det_);
   if (kind_ == FilterKind::None) {
     if (out.data() != in.data()) std::copy(in.begin(), in.end(), out.begin());
     return;
   }
-  std::vector<std::complex<double>> buf(n_pad_, {0.0, 0.0});
-  for (std::size_t i = 0; i < n_det_; ++i) buf[i] = double(in[i]);
-  fft(buf, false);
-  for (std::size_t k = 0; k < n_pad_; ++k) buf[k] *= response_[k];
-  fft(buf, true);
-  for (std::size_t i = 0; i < n_det_; ++i) out[i] = float(buf[i].real());
+  scratch.assign(n_pad_, {0.0, 0.0});
+  for (std::size_t i = 0; i < n_det_; ++i) scratch[i] = double(in[i]);
+  fft(scratch, false);
+  for (std::size_t k = 0; k < n_pad_; ++k) scratch[k] *= response_[k];
+  fft(scratch, true);
+  for (std::size_t i = 0; i < n_det_; ++i) out[i] = float(scratch[i].real());
 }
 
 void ProjectionFilter::apply_rows(Image& sinogram) const {
   assert(sinogram.nx() == n_det_);
-  for (std::size_t a = 0; a < sinogram.ny(); ++a) {
-    auto row = sinogram.row(a);
-    apply(row, row);
-  }
+  // Rows are independent; each chunk reuses one padded FFT buffer.
+  parallel::parallel_for_chunks(
+      0, sinogram.ny(), [&](std::size_t a0, std::size_t a1) {
+        std::vector<std::complex<double>> scratch;
+        for (std::size_t a = a0; a < a1; ++a) {
+          auto row = sinogram.row(a);
+          apply_with_scratch(row, row, scratch);
+        }
+      });
 }
 
 }  // namespace alsflow::tomo

@@ -44,7 +44,12 @@ class ProjectionFilter {
   // Filter one projection row (out may alias in).
   void apply(std::span<const float> in, std::span<float> out) const;
 
-  // Filter every row of a sinogram in place.
+  // As apply(), but reusing a caller-owned padded FFT buffer — the
+  // allocation-free form the row-parallel paths use.
+  void apply_with_scratch(std::span<const float> in, std::span<float> out,
+                          std::vector<std::complex<double>>& scratch) const;
+
+  // Filter every row of a sinogram in place (rows run on the thread pool).
   void apply_rows(Image& sinogram) const;
 
  private:

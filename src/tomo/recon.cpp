@@ -1,10 +1,12 @@
 #include "tomo/recon.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <complex>
 #include <vector>
 
+#include "parallel/thread_pool.hpp"
 #include "tomo/fft.hpp"
 #include "tomo/projector.hpp"
 
@@ -38,9 +40,11 @@ Image reconstruct_gridrec(const Image& sinogram, const Geometry& geo,
   // 2-D Fourier grid, filled by splatting ramp-weighted projection spectra
   // along their central slices (projection-slice theorem).
   std::vector<std::complex<double>> grid(n_pad * n_pad, {0.0, 0.0});
-  std::vector<std::complex<double>> row(n_pad);
 
-  for (std::size_t a = 0; a < geo.n_angles; ++a) {
+  // Splat one angle's spectrum into `out` (any accumulation grid).
+  const auto splat_angle = [&](std::size_t a,
+                               std::vector<std::complex<double>>& row,
+                               std::vector<std::complex<double>>& out) {
     const double theta = geo.angle(a);
     const double ct = std::cos(theta), st = std::sin(theta);
     std::fill(row.begin(), row.end(), std::complex<double>(0.0, 0.0));
@@ -68,11 +72,39 @@ Image reconstruct_gridrec(const Image& sinogram, const Geometry& geo,
       };
       const std::size_t x0 = idx(fx), x1 = idx(fx + 1.0);
       const std::size_t y0 = idx(fy), y1 = idx(fy + 1.0);
-      grid[y0 * n_pad + x0] += sample * ((1.0 - wx) * (1.0 - wy));
-      grid[y0 * n_pad + x1] += sample * (wx * (1.0 - wy));
-      grid[y1 * n_pad + x0] += sample * ((1.0 - wx) * wy);
-      grid[y1 * n_pad + x1] += sample * (wx * wy);
+      out[y0 * n_pad + x0] += sample * ((1.0 - wx) * (1.0 - wy));
+      out[y0 * n_pad + x1] += sample * (wx * (1.0 - wy));
+      out[y1 * n_pad + x0] += sample * ((1.0 - wx) * wy);
+      out[y1 * n_pad + x1] += sample * (wx * wy);
     }
+  };
+
+  // Angles scatter across the whole grid, so stripe them over the pool
+  // with one scratch grid per stripe (merged below) instead of sharing
+  // the accumulation target. Stripe 0 accumulates straight into `grid`.
+  const std::size_t n_stripes =
+      std::min(parallel::ThreadPool::global().size(), geo.n_angles);
+  if (n_stripes <= 1) {
+    std::vector<std::complex<double>> row(n_pad);
+    for (std::size_t a = 0; a < geo.n_angles; ++a) splat_angle(a, row, grid);
+  } else {
+    std::vector<std::vector<std::complex<double>>> partial(n_stripes - 1);
+    const std::size_t stride = (geo.n_angles + n_stripes - 1) / n_stripes;
+    parallel::parallel_for(0, n_stripes, [&](std::size_t s) {
+      auto& target = s == 0 ? grid : partial[s - 1];
+      if (s != 0) target.assign(n_pad * n_pad, {0.0, 0.0});
+      std::vector<std::complex<double>> row(n_pad);
+      const std::size_t a_end = std::min(geo.n_angles, (s + 1) * stride);
+      for (std::size_t a = s * stride; a < a_end; ++a) {
+        splat_angle(a, row, target);
+      }
+    });
+    parallel::parallel_for_chunks(
+        0, n_pad * n_pad, [&](std::size_t b, std::size_t e) {
+          for (const auto& p : partial) {
+            for (std::size_t i = b; i < e; ++i) grid[i] += p[i];
+          }
+        });
   }
 
   fft2(grid, n_pad, n_pad, true);
@@ -87,7 +119,7 @@ Image reconstruct_gridrec(const Image& sinogram, const Geometry& geo,
     if (i < 0) i += std::ptrdiff_t(n_pad);
     return std::size_t(i);
   };
-  for (std::size_t y = 0; y < n; ++y) {
+  parallel::parallel_for(0, n, [&](std::size_t y) {
     const double v = (1.0 - 2.0 * (double(y) + 0.5) / double(n)) / det_spacing;
     for (std::size_t x = 0; x < n; ++x) {
       const double u =
@@ -105,7 +137,7 @@ Image reconstruct_gridrec(const Image& sinogram, const Geometry& geo,
           grid[y1 * n_pad + x1].real() * wx * wy;
       img.at(y, x) = float(val * scale);
     }
-  }
+  });
   return img;
 }
 
@@ -114,7 +146,13 @@ namespace {
 constexpr float kEps = 1e-6f;
 
 void clamp_non_negative(Image& img) {
-  for (auto& p : img.span()) p = std::max(p, 0.0f);
+  auto data = img.span();
+  parallel::parallel_for_chunks(0, data.size(),
+                                [&](std::size_t b, std::size_t e) {
+                                  for (std::size_t i = b; i < e; ++i) {
+                                    data[i] = std::max(data[i], 0.0f);
+                                  }
+                                });
 }
 
 }  // namespace
@@ -130,17 +168,23 @@ Image reconstruct_sirt(const Image& sinogram, const Geometry& geo,
   Image x(n, n, 0.0f);
   for (int it = 0; it < n_iterations; ++it) {
     Image residual = forward_project(x, geo);
-    for (std::size_t i = 0; i < residual.size(); ++i) {
-      const float rs = row_sums.data()[i];
-      residual.data()[i] = rs > kEps
-                               ? (sinogram.data()[i] - residual.data()[i]) / rs
-                               : 0.0f;
-    }
+    parallel::parallel_for_chunks(
+        0, residual.size(), [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) {
+            const float rs = row_sums.data()[i];
+            residual.data()[i] =
+                rs > kEps ? (sinogram.data()[i] - residual.data()[i]) / rs
+                          : 0.0f;
+          }
+        });
     Image update = back_project_adjoint(residual, geo, n);
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      const float cs = col_sums.data()[i];
-      if (cs > kEps) x.data()[i] += update.data()[i] / cs;
-    }
+    parallel::parallel_for_chunks(
+        0, x.size(), [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) {
+            const float cs = col_sums.data()[i];
+            if (cs > kEps) x.data()[i] += update.data()[i] / cs;
+          }
+        });
     if (non_negative) clamp_non_negative(x);
   }
   return x;
@@ -154,16 +198,22 @@ Image reconstruct_mlem(const Image& sinogram, const Geometry& geo,
   Image x(n, n, 1.0f);
   for (int it = 0; it < n_iterations; ++it) {
     Image proj = forward_project(x, geo);
-    for (std::size_t i = 0; i < proj.size(); ++i) {
-      const float p = proj.data()[i];
-      const float b = std::max(sinogram.data()[i], 0.0f);
-      proj.data()[i] = p > kEps ? b / p : 0.0f;
-    }
+    parallel::parallel_for_chunks(
+        0, proj.size(), [&](std::size_t cb, std::size_t ce) {
+          for (std::size_t i = cb; i < ce; ++i) {
+            const float p = proj.data()[i];
+            const float b = std::max(sinogram.data()[i], 0.0f);
+            proj.data()[i] = p > kEps ? b / p : 0.0f;
+          }
+        });
     Image ratio = back_project_adjoint(proj, geo, n);
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      const float s = sens.data()[i];
-      x.data()[i] = s > kEps ? x.data()[i] * ratio.data()[i] / s : 0.0f;
-    }
+    parallel::parallel_for_chunks(
+        0, x.size(), [&](std::size_t cb, std::size_t ce) {
+          for (std::size_t i = cb; i < ce; ++i) {
+            const float s = sens.data()[i];
+            x.data()[i] = s > kEps ? x.data()[i] * ratio.data()[i] / s : 0.0f;
+          }
+        });
   }
   return x;
 }
@@ -190,6 +240,25 @@ Image reconstruct_slice(const Image& sinogram, const Geometry& geo,
     clamp_non_negative(out);
   }
   return out;
+}
+
+Volume reconstruct_volume(const std::vector<Image>& sinograms,
+                          const Geometry& geo, std::size_t n,
+                          const ReconOptions& opts) {
+  if (sinograms.empty()) return Volume();
+  for (const Image& sino : sinograms) {
+    assert(sino.ny() == geo.n_angles && sino.nx() == geo.n_det);
+    (void)sino;
+  }
+  Volume vol(sinograms.size(), n, n);
+  // Slice-level decomposition — the per-node layout the paper's file-based
+  // TomoPy runs use on the 128-core nodes. The per-slice kernels nest
+  // their own parallel_for calls; the reentrant pool work-shares both
+  // levels, so this scales whether there are many slices or few.
+  parallel::parallel_for(0, sinograms.size(), [&](std::size_t z) {
+    vol.set_slice(z, reconstruct_slice(sinograms[z], geo, n, opts));
+  });
+  return vol;
 }
 
 }  // namespace alsflow::tomo

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "tomo/filters.hpp"
 #include "tomo/geometry.hpp"
@@ -32,6 +33,14 @@ struct ReconOptions {
 // Reconstruct an n x n slice from a sinogram (n_angles x n_det).
 Image reconstruct_slice(const Image& sinogram, const Geometry& geo,
                         std::size_t n, const ReconOptions& opts = {});
+
+// Reconstruct a stack of sinograms into an (nz x n x n) volume,
+// parallelized across slices on the shared pool (the decomposition the
+// paper's per-node TomoPy runs use). Every sinogram must be
+// (n_angles x n_det) for `geo`.
+Volume reconstruct_volume(const std::vector<Image>& sinograms,
+                          const Geometry& geo, std::size_t n,
+                          const ReconOptions& opts = {});
 
 Image reconstruct_fbp(const Image& sinogram, const Geometry& geo,
                       std::size_t n, FilterKind filter);

@@ -58,6 +58,15 @@ Image StreamingReconstructor::reconstruct_row(std::size_t z) const {
   return fbp_backproject(sinos_[z], config_.geo, config_.recon_width());
 }
 
+Volume StreamingReconstructor::reconstruct_all_rows() const {
+  const std::size_t n = config_.recon_width();
+  Volume vol(config_.n_rows, n, n);
+  parallel::parallel_for(0, config_.n_rows, [&](std::size_t z) {
+    vol.set_slice(z, reconstruct_row(z));
+  });
+  return vol;
+}
+
 OrthoPreview StreamingReconstructor::finalize() const {
   const std::size_t n = config_.recon_width();
   const std::size_t n_rows = config_.n_rows;

@@ -59,6 +59,11 @@ class StreamingReconstructor {
   // Full-plane reconstruction of detector row z (for full-volume recon).
   Image reconstruct_row(std::size_t z) const;
 
+  // Back-project every detector row into an (n_rows x recon_n x recon_n)
+  // volume, rows parallelized across the pool (per-row back-projection
+  // nests its own parallel_for; the reentrant pool shares both levels).
+  Volume reconstruct_all_rows() const;
+
   // Access the cached, filtered sinogram for detector row z.
   const Image& filtered_sinogram(std::size_t z) const { return sinos_[z]; }
 

@@ -49,6 +49,7 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
     const std::uint64_t checksum = stat.value().checksum;
 
     bool file_ok = false;
+    bool corrupt_copy_at_dst = false;  // last landed copy failed its checksum
     for (int attempt = 0; attempt <= tuning_.max_retries; ++attempt) {
       if (attempt > 0) {
         ++outcome.retries;
@@ -75,6 +76,7 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
         if (first_error.code.empty()) first_error = put.error();
         break;  // permission/capacity: permanent, no retry
       }
+      corrupt_copy_at_dst = corrupted;
       if (spec.verify_checksum) {
         if (tuning_.checksum_rate > 0.0) {
           co_await sim::delay(eng_, double(size) / tuning_.checksum_rate);
@@ -96,6 +98,20 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
       ++outcome.files_failed;
       if (first_error.code.empty()) {
         first_error = Error::make("retries_exhausted", file.src_path);
+      }
+      if (corrupt_copy_at_dst) {
+        // The retry budget ran out with a known-bad copy at the
+        // destination; remove it so downstream flows can't ingest it.
+        Status rm = spec.dst->remove(file.dst_path);
+        if (rm.ok()) {
+          log_warn("globus") << spec.label << ": removed corrupted copy "
+                             << file.dst_path << " after retries exhausted";
+        } else {
+          log_warn("globus") << spec.label
+                             << ": could not remove corrupted copy "
+                             << file.dst_path << " (" << rm.error().code
+                             << ")";
+        }
       }
     }
   }

@@ -238,6 +238,130 @@ TEST(FlowEngine, FailedIdempotentTaskRetriesNextRun) {
   EXPECT_EQ(b.value().state, RunState::Completed);
 }
 
+TEST(FlowEngine, ReRegisterWhileRunIsInFlightIsSafe) {
+  // Regression: run_flow_impl used to hold a reference to the Registration
+  // across co_await; re-registering the same name mid-run reassigned the
+  // mapped value and destroyed the running FlowFn. The registration must
+  // be copied into the coroutine frame instead.
+  World w;
+  bool old_body_finished = false;
+  bool new_body_ran = false;
+  w.flows.register_flow("recon", [&](FlowContext ctx) -> sim::Future<Status> {
+    co_await sim::delay(ctx.engine.sim(), 5.0);
+    // While this run is suspended, replace the registration.
+    ctx.engine.register_flow("recon",
+                             [&](FlowContext) -> sim::Future<Status> {
+                               new_body_ran = true;
+                               co_return Status::success();
+                             });
+    co_await sim::delay(ctx.engine.sim(), 5.0);
+    old_body_finished = true;  // original fn must still be alive here
+    co_return Status::success();
+  });
+  auto first = w.flows.run_flow("recon");
+  w.eng.run();
+  EXPECT_TRUE(old_body_finished);
+  EXPECT_EQ(first.value().state, RunState::Completed);
+
+  auto second = w.flows.run_flow("recon");
+  w.eng.run();
+  EXPECT_TRUE(new_body_ran);
+  EXPECT_EQ(second.value().state, RunState::Completed);
+}
+
+TEST(FlowEngine, ReRegisterWithRetriesUsesCapturedOptions) {
+  // The retry policy in effect when the run started must keep applying
+  // even if the flow is re-registered (with different options) mid-run.
+  World w;
+  int attempts = 0;
+  FlowOptions opts;
+  opts.max_retries = 2;
+  opts.retry_delay = 1.0;
+  w.flows.register_flow(
+      "flaky",
+      [&](FlowContext ctx) -> sim::Future<Status> {
+        ++attempts;
+        FlowOptions none;  // 0 retries
+        ctx.engine.register_flow(
+            "flaky",
+            [](FlowContext) -> sim::Future<Status> {
+              co_return Status::success();
+            },
+            none);
+        co_await sim::delay(ctx.engine.sim(), 1.0);
+        if (attempts < 3) co_return Error::make("transient");
+        co_return Status::success();
+      },
+      opts);
+  auto fut = w.flows.run_flow("flaky");
+  w.eng.run();
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(fut.value().state, RunState::Completed);
+}
+
+TEST(FlowEngine, ConcurrentFailureDoesNotClobberCachedSuccess) {
+  // Two in-flight flows share one idempotency key; the fast one succeeds,
+  // the slow one fails afterwards. The failure must not overwrite the
+  // recorded success (a third run still skips the task).
+  World w;
+  int executions = 0;
+  auto body = [&w, &executions](FlowContext ctx, Seconds d,
+                                bool fail) -> sim::Future<Status> {
+    TaskOptions topts;
+    topts.idempotency_key = "stage:scan-7";
+    topts.max_retries = 0;
+    const Seconds delay = d;
+    const bool should_fail = fail;
+    std::function<sim::Future<Status>()> task =
+        [&w, &executions, delay, should_fail]() -> sim::Future<Status> {
+      ++executions;
+      co_await sim::delay(w.eng, delay);
+      if (should_fail) co_return Error::make("transient");
+      co_return Status::success();
+    };
+    co_return co_await ctx.engine.run_task(ctx, "stage", task, topts);
+  };
+  w.flows.register_flow("fast", [&](FlowContext ctx) -> sim::Future<Status> {
+    co_return co_await body(ctx, 1.0, false);
+  });
+  w.flows.register_flow("slow", [&](FlowContext ctx) -> sim::Future<Status> {
+    co_return co_await body(ctx, 3.0, true);
+  });
+  auto fa = w.flows.run_flow("fast");
+  auto fb = w.flows.run_flow("slow");
+  w.eng.run();
+  EXPECT_EQ(fa.value().state, RunState::Completed);
+  EXPECT_EQ(fb.value().state, RunState::Failed);
+  EXPECT_EQ(executions, 2);
+
+  w.flows.register_flow("again", [&](FlowContext ctx) -> sim::Future<Status> {
+    co_return co_await body(ctx, 0.0, false);
+  });
+  auto fc = w.flows.run_flow("again");
+  w.eng.run();
+  EXPECT_EQ(fc.value().state, RunState::Completed);
+  EXPECT_EQ(executions, 2);  // cached success survived the later failure
+}
+
+TEST(FlowEngine, IdempotencyCacheIsBounded) {
+  World w;
+  w.flows.register_flow("k", [&](FlowContext ctx) -> sim::Future<Status> {
+    TaskOptions topts;
+    topts.idempotency_key = ctx.parameters;
+    std::function<sim::Future<Status>()> task = []() -> sim::Future<Status> {
+      co_return Status::success();
+    };
+    co_return co_await ctx.engine.run_task(ctx, "t", task, topts);
+  });
+  const std::size_t total = FlowEngine::kIdempotencyCacheCapacity + 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    (void)w.flows.run_flow("k", "key-" + std::to_string(i));
+    w.eng.run();
+  }
+  EXPECT_EQ(w.flows.idempotency_cache_size(),
+            FlowEngine::kIdempotencyCacheCapacity);
+}
+
 TEST(FlowEngine, PeriodicScheduleRunsAndCancels) {
   World w;
   int runs = 0;

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
@@ -84,6 +86,122 @@ TEST(ThreadPool, ResultMatchesSerial) {
     parallel_sum += local;
   });
   EXPECT_DOUBLE_EQ(parallel_sum, serial);
+}
+
+// --- Reentrancy: completion state is per-invocation, not per-pool. ---
+
+TEST(ThreadPool, OverlappingParallelForFromTwoThreads) {
+  // Two external threads drive the same pool concurrently; each invocation
+  // must wait only for its own chunks (the seed's shared in_flight_ counter
+  // coupled them and could return early or late).
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::atomic<int>> a(503), b(701);
+    std::thread ta([&] {
+      pool.parallel_for(0, a.size(), [&](std::size_t i) { a[i]++; });
+    });
+    std::thread tb([&] {
+      pool.parallel_for(0, b.size(), [&](std::size_t i) { b[i]++; });
+    });
+    ta.join();
+    tb.join();
+    for (auto& v : a) ASSERT_EQ(v.load(), 1);
+    for (auto& v : b) ASSERT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForInsideChunkBody) {
+  // Slice-level decomposition: an outer parallel_for whose body runs its
+  // own parallel_for on the same pool (what reconstruct_volume does).
+  ThreadPool pool(4);
+  const std::size_t outer = 16, inner = 64;
+  std::vector<std::atomic<int>> visits(outer * inner);
+  pool.parallel_for(0, outer, [&](std::size_t o) {
+    pool.parallel_for(0, inner, [&](std::size_t i) {
+      visits[o * inner + i]++;
+    });
+  });
+  for (auto& v : visits) ASSERT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelFor) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 4, [&](std::size_t) {
+      pool.parallel_for(0, 25, [&](std::size_t i) { sum += long(i); });
+    });
+  });
+  EXPECT_EQ(sum.load(), 16 * 300);  // 16 * sum(0..24)
+}
+
+TEST(ThreadPool, OverlappingAndNestedCombined) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  auto work = [&] {
+    for (int r = 0; r < 10; ++r) {
+      pool.parallel_for(0, 8, [&](std::size_t) {
+        pool.parallel_for(0, 50, [&](std::size_t) { total++; });
+      });
+    }
+  };
+  std::thread t1(work), t2(work), t3(work);
+  t1.join();
+  t2.join();
+  t3.join();
+  EXPECT_EQ(total.load(), 3L * 10 * 8 * 50);
+}
+
+TEST(ThreadPool, NestedCallOnGlobalPoolFromWorker) {
+  // The global singleton must stay safe to call from its own workers.
+  std::atomic<int> count{0};
+  parallel_for(0, 8, [&](std::size_t) {
+    parallel_for(0, 8, [&](std::size_t) { count++; });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, TeardownUnderLoad) {
+  // Pools constructed and destroyed while driven hard from several
+  // threads: destruction after the last parallel_for returns must be
+  // clean (no leaks, hangs, or exceptions).
+  for (int round = 0; round < 10; ++round) {
+    auto pool = std::make_unique<ThreadPool>(4);
+    std::atomic<long> sum{0};
+    std::vector<std::thread> drivers;
+    for (int t = 0; t < 3; ++t) {
+      drivers.emplace_back([&] {
+        pool->parallel_for_chunks(0, 4096,
+                                  [&](std::size_t b, std::size_t e) {
+                                    sum += long(e - b);
+                                  });
+      });
+    }
+    for (auto& d : drivers) d.join();
+    EXPECT_EQ(sum.load(), 3 * 4096);
+    pool.reset();  // orderly teardown right after load drains
+  }
+}
+
+TEST(ThreadPool, OverlappingLatencyNotCoupled) {
+  // A short parallel_for issued while a long one is in flight completes
+  // without waiting for the long one's chunks (per-invocation batches).
+  ThreadPool pool(4);
+  std::atomic<bool> release{false};
+  std::atomic<int> slow_started{0};
+  std::thread slow([&] {
+    pool.parallel_for(0, 2, [&](std::size_t) {
+      slow_started++;
+      while (!release.load()) std::this_thread::yield();
+    });
+  });
+  while (slow_started.load() == 0) std::this_thread::yield();
+  // Pool still has idle capacity; this must finish while `slow` is stuck.
+  std::atomic<int> fast_count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { fast_count++; });
+  EXPECT_EQ(fast_count.load(), 100);
+  release = true;
+  slow.join();
 }
 
 }  // namespace

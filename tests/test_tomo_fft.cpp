@@ -21,6 +21,41 @@ TEST(Fft, NextPow2) {
   EXPECT_EQ(next_pow2(1024), 1024u);
 }
 
+TEST(Fft, RejectsNonPowerOfTwoSizes) {
+  // Hard check in all build types: release builds must not silently
+  // corrupt data when handed an unpadded buffer. Callers pad via
+  // next_pow2 first.
+  for (std::size_t n : {3u, 5u, 6u, 7u, 12u, 100u, 1000u}) {
+    std::vector<cplx> a(n, {1.0, 0.0});
+    EXPECT_THROW(fft(a, false), std::invalid_argument) << n;
+    EXPECT_THROW(fft(a, true), std::invalid_argument) << n;
+  }
+  std::vector<cplx> empty;
+  EXPECT_THROW(fft(empty, false), std::invalid_argument);
+}
+
+TEST(Fft2, RejectsBadDimensions) {
+  std::vector<cplx> a(6 * 8, {1.0, 0.0});
+  EXPECT_THROW(fft2(a, 6, 8, false), std::invalid_argument);   // ny not pow2
+  a.assign(8 * 6, {1.0, 0.0});
+  EXPECT_THROW(fft2(a, 8, 6, false), std::invalid_argument);   // nx not pow2
+  a.assign(10, {1.0, 0.0});
+  EXPECT_THROW(fft2(a, 8, 8, false), std::invalid_argument);   // size mismatch
+}
+
+TEST(Fft, PaddedCallSitesStillRoundTrip) {
+  // The supported recipe for arbitrary lengths: pad to next_pow2.
+  const std::size_t raw = 100;
+  std::vector<cplx> a(next_pow2(raw), {0.0, 0.0});
+  for (std::size_t i = 0; i < raw; ++i) a[i] = double(i);
+  auto orig = a;
+  fft(a, false);
+  fft(a, true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(a[i] - orig[i]), 0.0, 1e-10);
+  }
+}
+
 TEST(Fft, DeltaFunctionIsFlat) {
   std::vector<cplx> a(8, {0.0, 0.0});
   a[0] = 1.0;

@@ -159,6 +159,29 @@ TEST(Streaming, ReconstructRowRebuildsFullVolume) {
   EXPECT_LT(rmse(recon, vol), 0.12);
 }
 
+TEST(Streaming, ReconstructAllRowsMatchesPerRow) {
+  // The parallel whole-volume path must produce bitwise the same slices as
+  // the per-row calls (row-level parallelism nests the kernel-level one).
+  Volume vol = shepp_logan_3d(24);
+  SyntheticScan scan(vol, 48);
+  StreamingReconstructor sr(make_config(scan));
+  sr.set_reference(scan.dark, scan.flat);
+  for (std::size_t a = 0; a < 48; ++a) sr.on_frame(a, scan.frames[a]);
+
+  Volume all = sr.reconstruct_all_rows();
+  ASSERT_EQ(all.nz(), 24u);
+  ASSERT_EQ(all.ny(), 24u);
+  ASSERT_EQ(all.nx(), 24u);
+  for (std::size_t z = 0; z < 24; ++z) {
+    Image row = sr.reconstruct_row(z);
+    Image got = all.slice_image(z);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      ASSERT_EQ(got.data()[i], row.data()[i]) << "row " << z << " px " << i;
+    }
+  }
+  EXPECT_LT(rmse(all, vol), 0.12);
+}
+
 TEST(Streaming, PartialPreviewStillProduces) {
   Volume vol = shepp_logan_3d(32);
   SyntheticScan scan(vol, 64);

@@ -165,6 +165,48 @@ TEST(Transfer, CorruptionUndetectedWithoutVerification) {
   EXPECT_EQ(out.retries, 0);
 }
 
+TEST(Transfer, ExhaustedRetriesRemoveCorruptedDestinationCopy) {
+  // Every attempt corrupts; once the retry budget is exhausted the
+  // known-bad destination copy must not be left for downstream flows.
+  World w;
+  w.svc.set_corruption_rate(1.0);
+  ASSERT_TRUE(w.beamline.put("/raw/a", GB, 0xABCD, 0.0).ok());
+  TransferSpec spec;
+  spec.src = &w.beamline;
+  spec.dst = &w.cfs;
+  spec.files = {{"/raw/a", "/x"}};
+  spec.verify_checksum = true;
+  auto out = w.run(std::move(spec));
+  EXPECT_FALSE(out.status.ok());
+  EXPECT_EQ(out.status.error().code, "retries_exhausted");
+  EXPECT_EQ(out.files_failed, 1u);
+  EXPECT_FALSE(w.cfs.exists("/x"));  // corrupted copy cleaned up
+}
+
+TEST(Transfer, CleanupOnlyRemovesFailedFiles) {
+  // A multi-file task where one file always corrupts: the good files stay,
+  // only the failed file's corrupted copy is removed.
+  World w;
+  ASSERT_TRUE(w.beamline.put("/raw/good", GB, 0x1, 0.0).ok());
+  ASSERT_TRUE(w.beamline.put("/raw/bad", GB, 0x2, 0.0).ok());
+  TransferSpec good;
+  good.src = &w.beamline;
+  good.dst = &w.cfs;
+  good.files = {{"/raw/good", "/dst/good"}};
+  auto out_good = w.run(std::move(good));
+  EXPECT_TRUE(out_good.status.ok());
+
+  w.svc.set_corruption_rate(1.0);
+  TransferSpec bad;
+  bad.src = &w.beamline;
+  bad.dst = &w.cfs;
+  bad.files = {{"/raw/bad", "/dst/bad"}};
+  auto out_bad = w.run(std::move(bad));
+  EXPECT_FALSE(out_bad.status.ok());
+  EXPECT_TRUE(w.cfs.exists("/dst/good"));
+  EXPECT_FALSE(w.cfs.exists("/dst/bad"));
+}
+
 TEST(Transfer, PermissionDeniedIsPermanent) {
   World w;
   w.cfs.deny("put", "/protected/");
