@@ -4,9 +4,15 @@
 // minutes, streaming previews for the users watching live, dual-facility
 // file-based reconstruction for every dataset, scheduled pruning, and a
 // loaded Perlmutter in the background. Ends with the operations report a
-// beamline scientist would pull up the next morning.
+// beamline scientist would pull up the next morning — and, with telemetry
+// enabled, dumps the whole shift as a Chrome trace (open
+// campaign_trace.json in chrome://tracing or https://ui.perfetto.dev to
+// see the Fig. 1 pipeline as a flame chart) plus Prometheus/JSON metric
+// snapshots.
 #include <cstdio>
+#include <fstream>
 
+#include "common/telemetry.hpp"
 #include "pipeline/campaign.hpp"
 #include "pipeline/facility.hpp"
 
@@ -14,6 +20,8 @@ using namespace alsflow;
 
 int main() {
   std::printf("=== one shift at beamline 8.3.2 (simulated) ===\n\n");
+
+  telemetry::global().set_enabled(true);
 
   pipeline::FacilityConfig config;
   config.seed = 2026;
@@ -40,6 +48,19 @@ int main() {
   std::printf("  new_file_832:     %s\n", report.new_file.row(0).c_str());
   std::printf("  nersc_recon_flow: %s\n", report.nersc_recon.row(0).c_str());
   std::printf("  alcf_recon_flow:  %s\n\n", report.alcf_recon.row(0).c_str());
+
+  // Stage-level breakdown (the view whole-flow durations hide): where the
+  // time goes inside each flow run.
+  auto& db = facility.run_db();
+  for (const char* flow :
+       {"new_file_832", "nersc_recon_flow", "alcf_recon_flow"}) {
+    std::printf("per-task breakdown: %s\n", flow);
+    for (const auto& task : db.task_names(flow)) {
+      std::printf("  %-24s %s\n", task.c_str(),
+                  db.task_duration_summary(flow, task).row(0).c_str());
+    }
+  }
+  std::printf("\n");
 
   std::printf("per-facility compute\n");
   std::size_t rt = 0;
@@ -77,5 +98,17 @@ int main() {
                                              : "?");
     }
   }
+
+  // Telemetry export: the shift as a span tree + metrics snapshot.
+  auto& tel = telemetry::global();
+  std::ofstream("campaign_trace.json") << tel.tracer().chrome_trace_json();
+  std::ofstream("campaign_metrics.prom") << tel.metrics().prometheus_text();
+  std::ofstream("campaign_metrics.json") << tel.metrics().json();
+  std::printf("\nmetrics snapshot\n%s", tel.metrics().report().c_str());
+  std::printf(
+      "\ntelemetry written: campaign_trace.json (%zu spans; open in "
+      "chrome://tracing or https://ui.perfetto.dev), "
+      "campaign_metrics.prom, campaign_metrics.json\n",
+      tel.tracer().span_count());
   return 0;
 }

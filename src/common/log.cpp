@@ -2,13 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
+
+#include "common/telemetry.hpp"
 
 namespace alsflow {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::mutex g_mutex;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -19,17 +21,56 @@ const char* level_name(LogLevel l) {
     default: return "?????";
   }
 }
+
+LogLevel level_from_env() {
+  return parse_log_level(std::getenv("ALSFLOW_LOG"), LogLevel::Warn);
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
+std::mutex g_mutex;  // guards g_sink and serializes stderr writes
+LogSink g_sink;
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+LogLevel parse_log_level(const char* value, LogLevel fallback) {
+  if (value == nullptr) return fallback;
+  if (std::strcmp(value, "debug") == 0) return LogLevel::Debug;
+  if (std::strcmp(value, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(value, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(value, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(value, "off") == 0) return LogLevel::Off;
+  return fallback;
+}
+
+std::string format_log_line(const LogRecord& rec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%10.3f %s %-10s ", rec.wall_time,
+                level_name(rec.level), rec.component.c_str());
+  return buf + rec.message;
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
 void log_line(LogLevel level, const std::string& component,
               const std::string& message) {
   if (level < g_level.load()) return;
+  LogRecord rec;
+  rec.wall_time = telemetry::Telemetry::wall_now();
+  rec.level = level;
+  rec.component = component;
+  rec.message = message;
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %-10s %s\n", level_name(level), component.c_str(),
-               message.c_str());
+  if (g_sink) {
+    g_sink(rec);
+  } else {
+    std::fprintf(stderr, "%s\n", format_log_line(rec).c_str());
+  }
 }
 
 }  // namespace alsflow

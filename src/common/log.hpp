@@ -2,9 +2,21 @@
 //
 // Services log under a component name ("prefect", "globus", "slurm", ...).
 // The global level defaults to Warn so tests and benches stay quiet;
-// examples raise it to Info to narrate the pipeline.
+// examples raise it to Info to narrate the pipeline. The ALSFLOW_LOG
+// environment variable (debug|info|warn|error|off) sets the initial level
+// without code changes.
+//
+// Each emitted line is structured — timestamp (wall seconds since process
+// start, the telemetry wall clock), level, component, message — and flows
+// through a swappable line sink (the same sink shape telemetry exporters
+// use), so tests capture log output instead of scraping stderr.
+//
+// Disabled levels are near-free: LogStream only constructs its stream and
+// formats operands when the level is enabled at construction time.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -15,26 +27,55 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-// Thread-safe write of one formatted line to stderr if `level` is enabled.
+// Parse an ALSFLOW_LOG-style value ("debug", "info", "warn", "error",
+// "off"; case-sensitive). Unknown values return `fallback`.
+LogLevel parse_log_level(const char* value, LogLevel fallback = LogLevel::Warn);
+
+// One structured log line, pre-formatting.
+struct LogRecord {
+  double wall_time = 0.0;  // seconds since process start (telemetry clock)
+  LogLevel level = LogLevel::Info;
+  std::string component;
+  std::string message;
+};
+
+// "12.345 INFO  globus     message" — the canonical rendering of a record.
+std::string format_log_line(const LogRecord& rec);
+
+// Swappable sink for formatted lines; same line-sink shape the telemetry
+// exporters write to. Default (or empty sink) appends to stderr.
+using LogSink = std::function<void(const LogRecord&)>;
+void set_log_sink(LogSink sink);
+
+// Thread-safe: builds a LogRecord and routes it to the sink if `level` is
+// enabled.
 void log_line(LogLevel level, const std::string& component,
               const std::string& message);
 
 namespace detail {
+// Streams into a buffer only when the level is enabled; a disabled log
+// statement costs one level check and never formats its operands.
 class LogStream {
  public:
-  LogStream(LogLevel level, std::string component)
-      : level_(level), component_(std::move(component)) {}
-  ~LogStream() { log_line(level_, component_, ss_.str()); }
+  LogStream(LogLevel level, std::string component) : level_(level) {
+    if (level >= log_level()) {
+      component_ = std::move(component);
+      ss_.emplace();
+    }
+  }
+  ~LogStream() {
+    if (ss_) log_line(level_, component_, ss_->str());
+  }
   template <typename T>
   LogStream& operator<<(const T& v) {
-    ss_ << v;
+    if (ss_) *ss_ << v;
     return *this;
   }
 
  private:
   LogLevel level_;
   std::string component_;
-  std::ostringstream ss_;
+  std::optional<std::ostringstream> ss_;
 };
 }  // namespace detail
 

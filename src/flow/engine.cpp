@@ -47,18 +47,53 @@ sim::Future<FlowRunResult> FlowEngine::run_flow_impl(std::string name,
   FlowRunResult result;
   result.run_id = db_.create_run(name, sim_.now(), parameters);
 
+  auto& tel = telemetry::global();
+  telemetry::SpanId flow_span = 0;
+  if (tel.enabled()) {
+    // The flow span opens at submission so the pool queue wait is visible
+    // inside it (a child span closes when the pool slot is acquired).
+    flow_span = tel.tracer().begin("flow", name, 0,
+                                   telemetry::ClockDomain::Sim, sim_.now());
+    tel.tracer().attr(flow_span, "run_id", result.run_id);
+    if (!parameters.empty()) {
+      tel.tracer().attr(flow_span, "parameters", parameters);
+    }
+    tel.metrics()
+        .counter("alsflow_flow_runs_started_total", "flow=\"" + name + "\"")
+        .add();
+  }
+
   sim::Semaphore& sem = pool(options.work_pool);
+  if (tel.enabled()) {
+    tel.metrics()
+        .gauge("alsflow_pool_queue_depth", "pool=\"" + options.work_pool + "\"")
+        .set(double(sem.waiting()));
+  }
+  telemetry::SpanId queue_span = 0;
+  if (flow_span != 0) {
+    queue_span = tel.tracer().begin("flow", "pool_wait", flow_span,
+                                    telemetry::ClockDomain::Sim, sim_.now());
+    tel.tracer().attr(queue_span, "pool", options.work_pool);
+  }
   co_await sem.acquire();
+  if (queue_span != 0) tel.tracer().end(queue_span, sim_.now());
   sim::SemaphoreGuard guard(sem);
 
   db_.mark_running(result.run_id, sim_.now());
   Status status = Status::success();
+  int attempts = 1;
   for (int attempt = 0;; ++attempt) {
-    FlowContext ctx{*this, result.run_id, parameters};
+    FlowContext ctx{*this, result.run_id, parameters, flow_span};
     status = co_await fn(ctx);
     if (status.ok() || attempt >= options.max_retries) break;
+    attempts = attempt + 2;
     db_.add_retry(result.run_id);
     db_.mark_retrying(result.run_id, sim_.now());
+    if (tel.enabled()) {
+      tel.metrics()
+          .counter("alsflow_flow_retries_total", "flow=\"" + name + "\"")
+          .add();
+    }
     log_warn("prefect") << name << " run " << result.run_id
                         << " failed (" << status.error().code
                         << "); retrying";
@@ -70,6 +105,19 @@ sim::Future<FlowRunResult> FlowEngine::run_flow_impl(std::string name,
   result.status = status;
   db_.mark_finished(result.run_id, result.state, sim_.now(),
                     status.ok() ? "" : status.error().code);
+  if (flow_span != 0) {
+    tel.tracer().attr(flow_span, "state", run_state_name(result.state));
+    tel.tracer().attr(flow_span, "attempts", std::uint64_t(attempts));
+    if (!status.ok()) {
+      tel.tracer().attr(flow_span, "error", status.error().code);
+    }
+    tel.tracer().end(flow_span, sim_.now());
+  }
+  if (tel.enabled() && !status.ok()) {
+    tel.metrics()
+        .counter("alsflow_flow_runs_failed_total", "flow=\"" + name + "\"")
+        .add();
+  }
   co_return result;
 }
 
@@ -83,6 +131,7 @@ void FlowEngine::submit_flow(const std::string& name, std::string parameters) {
 sim::Future<Status> FlowEngine::run_task_impl(
     const FlowContext& ctx, std::string task_name,
     std::function<sim::Future<Status>()> body, TaskOptions options) {
+  auto& tel = telemetry::global();
   if (!options.idempotency_key.empty()) {
     if (idempotency_cache_.count(options.idempotency_key) != 0) {
       TaskRunRecord rec;
@@ -91,6 +140,15 @@ sim::Future<Status> FlowEngine::run_task_impl(
       rec.state = RunState::Completed;
       rec.started_at = rec.finished_at = sim_.now();
       db_.record_task(rec);
+      if (tel.enabled()) {
+        // Zero-length span: the skip is visible in the trace.
+        telemetry::SpanId skip =
+            tel.tracer().begin("task", task_name, ctx.span,
+                               telemetry::ClockDomain::Sim, sim_.now());
+        tel.tracer().attr(skip, "skipped", "idempotency_hit");
+        tel.tracer().end(skip, sim_.now());
+        tel.metrics().counter("alsflow_task_idempotent_skips_total").add();
+      }
       co_return Status::success();
     }
   }
@@ -100,22 +158,46 @@ sim::Future<Status> FlowEngine::run_task_impl(
   rec.task_name = task_name;
   rec.started_at = sim_.now();
 
+  telemetry::SpanId task_span = 0;
+  if (tel.enabled()) {
+    task_span = tel.tracer().begin("task", task_name, ctx.span,
+                                   telemetry::ClockDomain::Sim, sim_.now());
+  }
+  // Expose the active task span so the task body can parent its transfer /
+  // HPC spans under it. Keyed by run_id: tasks of one flow run execute
+  // sequentially, but runs of different flows interleave freely.
+  if (task_span != 0) active_task_spans_[ctx.run_id] = task_span;
+
   Status status = Status::success();
   Seconds next_delay = options.retry_delay;
   for (int attempt = 0;; ++attempt) {
     ++rec.attempts;
     status = co_await body();
     if (status.ok() || attempt >= options.max_retries) break;
+    if (tel.enabled()) {
+      tel.metrics()
+          .counter("alsflow_task_retries_total", "task=\"" + task_name + "\"")
+          .add();
+    }
     log_warn("prefect") << task_name << " attempt " << attempt + 1
                         << " failed (" << status.error().code << ")";
     co_await sim::delay(sim_, next_delay);
     next_delay *= options.backoff;
   }
+  if (task_span != 0) active_task_spans_.erase(ctx.run_id);
 
   rec.finished_at = sim_.now();
   rec.state = status.ok() ? RunState::Completed : RunState::Failed;
   rec.error = status.ok() ? "" : status.error().code;
   db_.record_task(rec);
+  if (task_span != 0) {
+    tel.tracer().attr(task_span, "attempts", std::uint64_t(rec.attempts));
+    tel.tracer().attr(task_span, "state", run_state_name(rec.state));
+    if (!status.ok()) {
+      tel.tracer().attr(task_span, "error", status.error().code);
+    }
+    tel.tracer().end(task_span, sim_.now());
+  }
   // Cache *successes* only: recording a failed status would let a later
   // failed attempt clobber an earlier recorded success for the same key
   // and defeat skip-on-retry.

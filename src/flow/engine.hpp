@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/result.hpp"
+#include "common/telemetry.hpp"
 #include "common/units.hpp"
 #include "flow/run_db.hpp"
 #include "sim/engine.hpp"
@@ -31,6 +32,9 @@ struct FlowContext {
   FlowEngine& engine;
   std::string run_id;
   std::string parameters;
+  // Telemetry span of this flow run (0 when telemetry is disabled). Tasks
+  // started through run_task become children of this span.
+  telemetry::SpanId span = 0;
 };
 
 using FlowFn = std::function<sim::Future<Status>(FlowContext)>;
@@ -114,6 +118,14 @@ class FlowEngine {
 
   std::size_t registered_flows() const { return flows_.size(); }
 
+  // Telemetry span of the task currently executing for `run_id` (0 when
+  // telemetry is disabled or no task is active). Task bodies use this to
+  // parent their transfer / HPC-job spans under the task span.
+  telemetry::SpanId task_span(const std::string& run_id) const {
+    auto it = active_task_spans_.find(run_id);
+    return it == active_task_spans_.end() ? 0 : it->second;
+  }
+
   // Successful-task idempotency cache: bounded (FIFO eviction) so long
   // campaigns don't grow it without limit.
   static constexpr std::size_t kIdempotencyCacheCapacity = 4096;
@@ -144,6 +156,7 @@ class FlowEngine {
   RunDatabase& db_;
   std::map<std::string, Registration> flows_;
   std::map<std::string, std::unique_ptr<sim::Semaphore>> pools_;
+  std::map<std::string, telemetry::SpanId> active_task_spans_;
   std::set<std::string> idempotency_cache_;       // successful keys only
   std::deque<std::string> idempotency_order_;     // insertion order (FIFO)
   std::map<int, std::shared_ptr<bool>> schedules_;

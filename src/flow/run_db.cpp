@@ -123,4 +123,40 @@ std::vector<TaskRunRecord> RunDatabase::tasks(
   return out;
 }
 
+Summary RunDatabase::task_duration_summary(const std::string& flow_name,
+                                           const std::string& task_name,
+                                           std::size_t last_n) const {
+  std::vector<double> durations;
+  for (const auto& t : task_runs_) {
+    if (t.task_name != task_name) continue;
+    if (t.state != RunState::Completed) continue;
+    if (t.started_at < 0.0 || t.finished_at < 0.0) continue;
+    if (!flow_name.empty()) {
+      auto it = runs_.find(t.flow_run_id);
+      if (it == runs_.end() || it->second.flow_name != flow_name) continue;
+    }
+    durations.push_back(t.finished_at - t.started_at);
+  }
+  if (durations.size() > last_n) {
+    durations.erase(durations.begin(),
+                    durations.end() - std::ptrdiff_t(last_n));
+  }
+  return summarize(std::move(durations));
+}
+
+std::vector<std::string> RunDatabase::task_names(
+    const std::string& flow_name) const {
+  std::vector<std::string> out;
+  for (const auto& t : task_runs_) {
+    if (!flow_name.empty()) {
+      auto it = runs_.find(t.flow_run_id);
+      if (it == runs_.end() || it->second.flow_name != flow_name) continue;
+    }
+    if (std::find(out.begin(), out.end(), t.task_name) == out.end()) {
+      out.push_back(t.task_name);
+    }
+  }
+  return out;
+}
+
 }  // namespace alsflow::flow

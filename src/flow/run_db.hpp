@@ -77,6 +77,17 @@ class RunDatabase {
   void record_task(TaskRunRecord rec);
   std::vector<TaskRunRecord> tasks(const std::string& flow_run_id) const;
 
+  // Stage-level Table 2: durations of the most recent `last_n` completed
+  // runs of `task_name` within `flow_name` (empty flow_name matches any
+  // flow). This is the per-task breakdown the whole-flow summary hides.
+  Summary task_duration_summary(const std::string& flow_name,
+                                const std::string& task_name,
+                                std::size_t last_n = 100) const;
+
+  // Distinct task names seen for a flow, in first-seen order (drives
+  // per-task report tables).
+  std::vector<std::string> task_names(const std::string& flow_name) const;
+
   std::size_t total_runs() const { return order_.size(); }
 
  private:

@@ -4,6 +4,49 @@
 
 namespace alsflow::hpc {
 
+void ComputeAdapter::record_job_telemetry(const ReconJob& job,
+                                          const ReconJobOutcome& outcome) {
+  auto& tel = telemetry::global();
+  if (!tel.enabled()) return;
+  const std::string fac_label = "facility=\"" + outcome.facility + "\"";
+  tel.metrics().counter("alsflow_hpc_jobs_total", fac_label).add();
+  if (!outcome.status.ok()) {
+    tel.metrics().counter("alsflow_hpc_job_failures_total", fac_label).add();
+  }
+
+  auto& tracer = tel.tracer();
+  telemetry::SpanId span =
+      tracer.begin("hpc", outcome.facility + ":" + job.name, job.trace_parent,
+                   telemetry::ClockDomain::Sim, outcome.submitted_at);
+  tracer.attr(span, "facility", outcome.facility);
+  tracer.attr(span, "nz", std::uint64_t(job.nz));
+  tracer.attr(span, "n", std::uint64_t(job.n));
+  if (!outcome.status.ok()) {
+    tracer.attr(span, "error", outcome.status.error().code);
+  }
+  // started_at/finished_at are only known after the fact; explicit
+  // timestamps let us record the queue-wait and execution phases
+  // retroactively as children of the job span.
+  if (outcome.started_at >= outcome.submitted_at) {
+    telemetry::SpanId queue =
+        tracer.begin("hpc", "queue_wait", span, telemetry::ClockDomain::Sim,
+                     outcome.submitted_at);
+    tracer.end(queue, outcome.started_at);
+    tel.metrics()
+        .histogram("alsflow_hpc_queue_wait_seconds",
+                   {10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0},
+                   fac_label)
+        .observe(outcome.queue_wait());
+    if (outcome.finished_at >= outcome.started_at) {
+      telemetry::SpanId exec =
+          tracer.begin("hpc", "execute", span, telemetry::ClockDomain::Sim,
+                       outcome.started_at);
+      tracer.end(exec, outcome.finished_at);
+    }
+  }
+  tracer.end(span, std::max(outcome.finished_at, outcome.submitted_at));
+}
+
 sim::Future<ReconJobOutcome> NerscSlurmAdapter::run_impl(ReconJob job) {
   ReconJobOutcome outcome;
   outcome.facility = facility();
@@ -26,6 +69,7 @@ sim::Future<ReconJobOutcome> NerscSlurmAdapter::run_impl(ReconJob job) {
   if (!submitted.ok()) {
     outcome.status = submitted.error();
     outcome.finished_at = eng_.now();
+    record_job_telemetry(job, outcome);
     co_return outcome;
   }
   JobInfo info = co_await sfapi_.wait_job(submitted.value());
@@ -34,6 +78,7 @@ sim::Future<ReconJobOutcome> NerscSlurmAdapter::run_impl(ReconJob job) {
   if (info.state != JobState::Completed) {
     outcome.status = Error::make("job_failed", job_state_name(info.state));
   }
+  record_job_telemetry(job, outcome);
   co_return outcome;
 }
 
@@ -51,6 +96,7 @@ sim::Future<ReconJobOutcome> AlcfGlobusComputeAdapter::run_impl(ReconJob job) {
   FunctionResult result = co_await endpoint_.run(std::move(task));
   outcome.started_at = result.started_at;
   outcome.finished_at = result.finished_at;
+  record_job_telemetry(job, outcome);
   co_return outcome;
 }
 
@@ -66,6 +112,7 @@ sim::Future<ReconJobOutcome> WorkstationAdapter::run_impl(ReconJob job) {
                                      job.nz, job.n, job.n_iterations));
   outcome.finished_at = eng_.now();
   slot_.release();
+  record_job_telemetry(job, outcome);
   co_return outcome;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/result.hpp"
+#include "common/telemetry.hpp"
 #include "common/units.hpp"
 #include "hpc/compute_model.hpp"
 #include "hpc/globus_compute.hpp"
@@ -29,6 +30,8 @@ struct ReconJob {
   int n_iterations = 30;
   // Extra in-job time (e.g. the CFS -> pscratch staging copy at NERSC).
   Seconds staging_seconds = 0.0;
+  // Telemetry parent span (the flow task submitting this job); 0 = root.
+  telemetry::SpanId trace_parent = 0;
 };
 
 struct ReconJobOutcome {
@@ -54,6 +57,13 @@ class ComputeAdapter {
 
  protected:
   virtual sim::Future<ReconJobOutcome> run_impl(ReconJob job) = 0;
+
+  // Telemetry shared by every adapter: a job span (with retroactive
+  // queue-wait and execute child spans — timestamps are only known once the
+  // job reports back), a per-facility job counter, and a queue-wait
+  // histogram. No-op when telemetry is disabled or the job never started.
+  void record_job_telemetry(const ReconJob& job,
+                            const ReconJobOutcome& outcome);
 };
 
 struct NerscAdapterTuning {

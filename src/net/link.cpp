@@ -4,7 +4,20 @@
 #include <cassert>
 #include <limits>
 
+#include "common/telemetry.hpp"
+
 namespace alsflow::net {
+
+// Link-level Grafana panel numbers: concurrent transfers (instantaneous
+// utilization proxy), bytes offered, and the achieved mean throughput.
+void Link::record_metrics() {
+  auto& tel = telemetry::global();
+  if (!tel.enabled()) return;
+  const std::string label = "link=\"" + name_ + "\"";
+  auto& m = tel.metrics();
+  m.gauge("alsflow_link_active_transfers", label).set(double(active_.size()));
+  m.gauge("alsflow_link_mean_throughput_bps", label).set(mean_throughput());
+}
 
 Link::Link(sim::Engine& eng, std::string name, double bandwidth_bps,
            Seconds latency)
@@ -63,12 +76,21 @@ void Link::on_completion_event() {
       ++it;
     }
   }
+  record_metrics();
   reschedule();
 }
 
 sim::Future<sim::Unit> Link::send(Bytes bytes) {
   update_progress();
   total_bytes_ += bytes;
+  {
+    auto& tel = telemetry::global();
+    if (tel.enabled()) {
+      tel.metrics()
+          .counter("alsflow_link_bytes_total", "link=\"" + name_ + "\"")
+          .add(bytes);
+    }
+  }
   Transfer t;
   t.remaining = double(bytes);
   active_.push_back(t);
@@ -84,6 +106,7 @@ sim::Future<sim::Unit> Link::send(Bytes bytes) {
   } else {
     reschedule();
   }
+  record_metrics();
   return [](sim::Event<sim::Unit> ev) -> sim::Future<sim::Unit> {
     co_await ev;
     co_return sim::Unit{};

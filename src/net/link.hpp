@@ -49,6 +49,8 @@ class Link {
   void update_progress();
   void reschedule();
   void on_completion_event();
+  // Refresh the per-link telemetry gauges (no-op when telemetry is off).
+  void record_metrics();
 
   sim::Engine& eng_;
   std::string name_;

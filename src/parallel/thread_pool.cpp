@@ -3,7 +3,35 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/telemetry.hpp"
+
 namespace alsflow::parallel {
+
+namespace {
+
+// Pool counters, resolved once. The registry guarantees instrument
+// references stay valid for its lifetime (clear() zeroes, never frees), so
+// caching keeps the enabled hot path at one relaxed fetch_add per chunk.
+// The disabled path is a single relaxed load + branch at each site.
+struct PoolMetrics {
+  telemetry::Counter& invocations;   // parallel_for calls that fanned out
+  telemetry::Counter& chunks;        // chunk bodies executed (any thread)
+  telemetry::Counter& steals;        // chunks executed by pool workers
+  telemetry::Counter& help_drains;   // chunks the submitting caller drained
+};
+
+PoolMetrics& pool_metrics() {
+  auto& m = telemetry::global().metrics();
+  static PoolMetrics metrics{
+      m.counter("alsflow_pool_invocations_total"),
+      m.counter("alsflow_pool_chunks_total"),
+      m.counter("alsflow_pool_steals_total"),
+      m.counter("alsflow_pool_help_drains_total"),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) {
@@ -44,6 +72,11 @@ void ThreadPool::worker_loop() {
       task = queue_.back();  // LIFO: innermost batches complete first
       queue_.pop_back();
     }
+    if (telemetry::global().enabled()) {
+      auto& pm = pool_metrics();
+      pm.chunks.add();
+      pm.steals.add();
+    }
     run_task(task);
   }
 }
@@ -79,6 +112,20 @@ void ThreadPool::run_chunks(
     return;
   }
   batch.remaining = tasks.size();
+
+  // Wall-clock span per fan-out (one branch when telemetry is off; the
+  // per-chunk cost for workers is a relaxed counter increment).
+  auto& tel = telemetry::global();
+  telemetry::SpanId span = 0;
+  if (tel.enabled()) {
+    span = tel.tracer().begin("pool", "parallel_for", 0,
+                              telemetry::ClockDomain::Wall,
+                              telemetry::Telemetry::wall_now());
+    tel.tracer().attr(span, "iterations", std::uint64_t(n));
+    tel.tracer().attr(span, "chunks", std::uint64_t(tasks.size() + 1));
+    pool_metrics().invocations.add();
+  }
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.insert(queue_.end(), tasks.begin(), tasks.end());
@@ -86,6 +133,7 @@ void ThreadPool::run_chunks(
   cv_work_.notify_all();
 
   body(begin, std::min(end, begin + chunk_size));
+  if (span != 0) pool_metrics().chunks.add();
 
   // Help-drain tasks of *this* batch only. Running another caller's chunks
   // here would couple our latency to theirs and, for nested calls, could
@@ -100,6 +148,11 @@ void ThreadPool::run_chunks(
       task = *it;
       queue_.erase(std::next(it).base());
     }
+    if (telemetry::global().enabled()) {
+      auto& pm = pool_metrics();
+      pm.chunks.add();
+      pm.help_drains.add();
+    }
     run_task(task);
   }
 
@@ -108,6 +161,8 @@ void ThreadPool::run_chunks(
   // deadlock even under arbitrary nesting.
   std::unique_lock<std::mutex> lock(batch.m);
   batch.cv.wait(lock, [&] { return batch.remaining == 0; });
+  lock.unlock();
+  if (span != 0) tel.tracer().end(span, telemetry::Telemetry::wall_now());
 }
 
 void ThreadPool::parallel_for_chunks(

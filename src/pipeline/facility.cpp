@@ -123,13 +123,14 @@ sim::Future<Status> Facility::new_file_832(flow::FlowContext ctx) {
   // lambda temporaries in a co_await expression are double-destroyed
   // by GCC 12 (see the note in flow/engine.hpp).
   std::function<sim::Future<Status>()> copied_task =
-      [this, raw_path]() -> sim::Future<Status> {
+      [this, raw_path, run_id = ctx.run_id]() -> sim::Future<Status> {
         transfer::TransferSpec spec;
         spec.src = &acq_server_;
         spec.dst = &beamline_data_;
         spec.files = {{raw_path, raw_path}};
         spec.verify_checksum = config_.verify_checksums;
         spec.label = "new_file_832:stage";
+        spec.trace_parent = flows_.task_span(run_id);
         auto outcome = co_await globus_.submit(std::move(spec));
         co_return outcome.status;
       };
@@ -168,13 +169,14 @@ sim::Future<Status> Facility::nersc_recon_flow(flow::FlowContext ctx) {
 
   // Task 1: Globus transfer of the raw file to the NERSC CFS.
   std::function<sim::Future<Status>()> moved_task =
-      [this, raw_path, cfs_raw]() -> sim::Future<Status> {
+      [this, raw_path, cfs_raw, run_id = ctx.run_id]() -> sim::Future<Status> {
         transfer::TransferSpec spec;
         spec.src = &beamline_data_;
         spec.dst = &cfs_;
         spec.files = {{raw_path, cfs_raw}};
         spec.verify_checksum = config_.verify_checksums;
         spec.label = "nersc:raw_to_cfs";
+        spec.trace_parent = flows_.task_span(run_id);
         auto outcome = co_await globus_.submit(std::move(spec));
         co_return outcome.status;
       };
@@ -184,13 +186,14 @@ sim::Future<Status> Facility::nersc_recon_flow(flow::FlowContext ctx) {
   // Task 2: SFAPI -> Slurm realtime job (podman container; stages to
   // pscratch, runs TomoPy-equivalent gridrec, writes TIFF + Zarr).
   std::function<sim::Future<Status>()> recon_task =
-      [this, scan, cfs_recon]() -> sim::Future<Status> {
+      [this, scan, cfs_recon, run_id = ctx.run_id]() -> sim::Future<Status> {
         hpc::ReconJob job;
         job.name = "tomopy-" + scan.scan_id;
         job.nz = scan.rows;
         job.n = scan.cols;
         job.algorithm = tomo::Algorithm::Gridrec;
         job.staging_seconds = nersc_staging_seconds(scan);
+        job.trace_parent = flows_.task_span(run_id);
         auto outcome = co_await nersc_.run(job);
         if (!outcome.status.ok()) co_return outcome.status;
         co_return cfs_.put(cfs_recon, Bytes(double(scan.recon_bytes()) * 1.3),
@@ -201,13 +204,14 @@ sim::Future<Status> Facility::nersc_recon_flow(flow::FlowContext ctx) {
 
   // Task 3: move the reconstruction products back to the beamline.
   std::function<sim::Future<Status>()> back_task =
-      [this, cfs_recon, back_path]() -> sim::Future<Status> {
+      [this, cfs_recon, back_path, run_id = ctx.run_id]() -> sim::Future<Status> {
         transfer::TransferSpec spec;
         spec.src = &cfs_;
         spec.dst = &beamline_data_;
         spec.files = {{cfs_recon, back_path}};
         spec.verify_checksum = config_.verify_checksums;
         spec.label = "nersc:recon_back";
+        spec.trace_parent = flows_.task_span(run_id);
         auto outcome = co_await globus_.submit(std::move(spec));
         co_return outcome.status;
       };
@@ -238,13 +242,14 @@ sim::Future<Status> Facility::alcf_recon_flow(flow::FlowContext ctx) {
   const std::string back_path = "/recon/alcf/" + scan.scan_id + ".zarr";
 
   std::function<sim::Future<Status>()> moved_task =
-      [this, raw_path, eagle_raw]() -> sim::Future<Status> {
+      [this, raw_path, eagle_raw, run_id = ctx.run_id]() -> sim::Future<Status> {
         transfer::TransferSpec spec;
         spec.src = &beamline_data_;
         spec.dst = &eagle_;
         spec.files = {{raw_path, eagle_raw}};
         spec.verify_checksum = config_.verify_checksums;
         spec.label = "alcf:raw_to_eagle";
+        spec.trace_parent = flows_.task_span(run_id);
         auto outcome = co_await globus_.submit(std::move(spec));
         co_return outcome.status;
       };
@@ -254,12 +259,13 @@ sim::Future<Status> Facility::alcf_recon_flow(flow::FlowContext ctx) {
   // Globus Compute function: reconstruct directly against Eagle (pilot
   // workers, no batch queue, no staging copy).
   std::function<sim::Future<Status>()> recon_task =
-      [this, scan, eagle_recon]() -> sim::Future<Status> {
+      [this, scan, eagle_recon, run_id = ctx.run_id]() -> sim::Future<Status> {
         hpc::ReconJob job;
         job.name = "tomopy-" + scan.scan_id;
         job.nz = scan.rows;
         job.n = scan.cols;
         job.algorithm = tomo::Algorithm::Gridrec;
+        job.trace_parent = flows_.task_span(run_id);
         // Output products written straight to Eagle.
         job.staging_seconds = double(scan.recon_bytes()) * 1.3 /
                               config_.output_write_rate;
@@ -273,13 +279,14 @@ sim::Future<Status> Facility::alcf_recon_flow(flow::FlowContext ctx) {
   if (!recon.ok()) co_return recon;
 
   std::function<sim::Future<Status>()> back_task =
-      [this, eagle_recon, back_path]() -> sim::Future<Status> {
+      [this, eagle_recon, back_path, run_id = ctx.run_id]() -> sim::Future<Status> {
         transfer::TransferSpec spec;
         spec.src = &eagle_;
         spec.dst = &beamline_data_;
         spec.files = {{eagle_recon, back_path}};
         spec.verify_checksum = config_.verify_checksums;
         spec.label = "alcf:recon_back";
+        spec.trace_parent = flows_.task_span(run_id);
         auto outcome = co_await globus_.submit(std::move(spec));
         co_return outcome.status;
       };
@@ -309,7 +316,7 @@ sim::Future<Status> Facility::hpss_archive_flow(flow::FlowContext ctx) {
   // Tape ingest runs as a Slurm xfer-style job via SFAPI: queue for the
   // transfer slot, then stream both products to HPSS.
   std::function<sim::Future<Status>()> archive_task =
-      [this, scan, cfs_raw, cfs_recon]() -> sim::Future<Status> {
+      [this, scan, cfs_raw, cfs_recon, run_id = ctx.run_id]() -> sim::Future<Status> {
         // Tape mount + positioning latency before the stream starts.
         co_await sim::delay(eng_, 45.0);
         transfer::TransferSpec spec;
@@ -319,6 +326,7 @@ sim::Future<Status> Facility::hpss_archive_flow(flow::FlowContext ctx) {
                       {cfs_recon, "/archive" + cfs_recon}};
         spec.verify_checksum = config_.verify_checksums;
         spec.label = "hpss:archive";
+        spec.trace_parent = flows_.task_span(run_id);
         auto outcome = co_await globus_.submit(std::move(spec));
         co_return outcome.status;
       };

@@ -21,6 +21,12 @@ StreamingService::StreamingService(sim::Engine& eng,
 void StreamingService::begin_scan(const data::ScanMetadata& scan) {
   Active a;
   a.scan = scan;
+  auto& tel = telemetry::global();
+  if (tel.enabled()) {
+    a.span = tel.tracer().begin("streaming", "stream:" + scan.scan_id, 0,
+                                telemetry::ClockDomain::Sim, eng_.now());
+    tel.tracer().attr(a.span, "n_angles", std::uint64_t(scan.n_angles));
+  }
   active_[scan.scan_id] = std::move(a);
 }
 
@@ -32,6 +38,13 @@ sim::Proc StreamingService::pump() {
     Active& a = it->second;
     a.frames += batch.count;
     a.bytes += batch.bytes;  // in-memory cache until acquisition completes
+    {
+      auto& tel = telemetry::global();
+      if (tel.enabled()) {
+        tel.metrics().counter("alsflow_streaming_frames_total").add(batch.count);
+        tel.metrics().counter("alsflow_streaming_bytes_total").add(batch.bytes);
+      }
+    }
     if (batch.last_of_scan) a.saw_last = true;
     if (a.saw_last && a.frames >= a.scan.n_angles) {
       finalize(batch.scan_id).detach();
@@ -41,21 +54,51 @@ sim::Proc StreamingService::pump() {
 
 sim::Proc StreamingService::finalize(std::string scan_id) {
   Active& a = active_.at(scan_id);
+  const telemetry::SpanId scan_span = a.span;
   StreamingReport report;
   report.scan_id = scan_id;
   report.last_frame_at = eng_.now();
   report.cached_bytes = a.bytes;
 
+  auto& tel = telemetry::global();
+  telemetry::SpanId recon_span = 0;
+  if (scan_span != 0) {
+    recon_span = tel.tracer().begin("streaming", "gpu_backprojection",
+                                    scan_span, telemetry::ClockDomain::Sim,
+                                    eng_.now());
+  }
   // Back-project the cached, filtered dataset on the 4-GPU node.
   co_await sim::delay(
       eng_, model_.streaming_finalize_seconds(a.scan.rows, a.scan.cols));
   report.recon_done_at = eng_.now();
+  if (recon_span != 0) tel.tracer().end(recon_span, eng_.now());
 
+  telemetry::SpanId return_span = 0;
+  if (scan_span != 0) {
+    return_span = tel.tracer().begin("streaming", "preview_return", scan_span,
+                                     telemetry::ClockDomain::Sim, eng_.now());
+  }
   // Three orthogonal float32 preview slices return via ZeroMQ.
   const Bytes preview_bytes = 3ull * a.scan.cols * a.scan.cols * 4;
   co_await zmq_back_.send(preview_bytes);
   report.preview_at = eng_.now();
+  if (return_span != 0) tel.tracer().end(return_span, eng_.now());
 
+  if (scan_span != 0) {
+    tel.tracer().attr(scan_span, "cached_bytes",
+                      std::uint64_t(report.cached_bytes));
+    tel.tracer().attr(scan_span, "preview_latency_s",
+                      report.preview_latency());
+    tel.tracer().end(scan_span, eng_.now());
+  }
+  if (tel.enabled()) {
+    // The paper's Fig. 2 metric: acquisition completion -> preview visible.
+    tel.metrics()
+        .histogram("alsflow_streaming_preview_latency_seconds",
+                   {1.0, 2.0, 5.0, 8.0, 10.0, 15.0, 30.0, 60.0})
+        .observe(report.preview_latency());
+    tel.metrics().counter("alsflow_streaming_previews_total").add();
+  }
   ++delivered_;
   log_info("streaming") << scan_id << ": preview in "
                         << human_duration(report.preview_latency())

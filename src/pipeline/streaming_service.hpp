@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "beamline/frames.hpp"
+#include "common/telemetry.hpp"
 #include "hpc/compute_model.hpp"
 #include "net/link.hpp"
 #include "net/pubsub.hpp"
@@ -61,6 +62,7 @@ class StreamingService {
     // overtake earlier ones; finalize only once the last batch has been
     // seen AND every frame is accounted for.
     bool saw_last = false;
+    telemetry::SpanId span = 0;  // scan-lifetime streaming span
     sim::Event<StreamingReport> done;
   };
 

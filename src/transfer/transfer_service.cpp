@@ -20,17 +20,29 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
   outcome.label = spec.label;
   outcome.submitted_at = eng_.now();
 
+  auto& tel = telemetry::global();
+  telemetry::SpanId span = 0;
+  if (tel.enabled()) {
+    span = tel.tracer().begin(
+        "transfer", spec.label.empty() ? "transfer" : spec.label,
+        spec.trace_parent, telemetry::ClockDomain::Sim, eng_.now());
+  }
+
   if (spec.src == nullptr || spec.dst == nullptr) {
     outcome.status = Error::make("invalid_argument", "null endpoint");
     outcome.finished_at = eng_.now();
+    finish_telemetry(span, "", outcome);
     history_.push_back(outcome);
     co_return outcome;
   }
   net::Link* link = route(spec.src->name(), spec.dst->name());
+  const std::string route_label =
+      "route=\"" + spec.src->name() + "->" + spec.dst->name() + "\"";
   if (link == nullptr) {
     outcome.status = Error::make(
         "no_route", spec.src->name() + " -> " + spec.dst->name());
     outcome.finished_at = eng_.now();
+    finish_telemetry(span, route_label, outcome);
     history_.push_back(outcome);
     co_return outcome;
   }
@@ -121,8 +133,43 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
   }
   outcome.finished_at = eng_.now();
   total_bytes_ += outcome.bytes_moved;
+  finish_telemetry(span, route_label, outcome);
   history_.push_back(outcome);
   co_return outcome;
+}
+
+void TransferService::finish_telemetry(telemetry::SpanId span,
+                                       const std::string& route_label,
+                                       const TransferOutcome& outcome) {
+  auto& tel = telemetry::global();
+  if (!tel.enabled() && span == 0) return;
+  if (span != 0) {
+    auto& tracer = tel.tracer();
+    tracer.attr(span, "bytes_moved", std::uint64_t(outcome.bytes_moved));
+    tracer.attr(span, "files_ok", std::uint64_t(outcome.files_ok));
+    tracer.attr(span, "files_failed", std::uint64_t(outcome.files_failed));
+    tracer.attr(span, "retries", std::uint64_t(outcome.retries));
+    if (!outcome.status.ok()) {
+      tracer.attr(span, "error", outcome.status.error().code);
+    }
+    tracer.end(span, eng_.now());
+  }
+  if (tel.enabled()) {
+    auto& m = tel.metrics();
+    m.counter("alsflow_transfer_tasks_total", route_label).add();
+    m.counter("alsflow_transfer_bytes_total", route_label)
+        .add(outcome.bytes_moved);
+    m.counter("alsflow_transfer_files_total", route_label)
+        .add(outcome.files_ok);
+    if (outcome.retries > 0) {
+      m.counter("alsflow_transfer_retries_total", route_label)
+          .add(std::uint64_t(outcome.retries));
+    }
+    if (outcome.files_failed > 0) {
+      m.counter("alsflow_transfer_failures_total", route_label)
+          .add(outcome.files_failed);
+    }
+  }
 }
 
 }  // namespace alsflow::transfer

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 #include "common/units.hpp"
 #include "net/link.hpp"
 #include "sim/engine.hpp"
@@ -33,6 +34,9 @@ struct TransferSpec {
   std::vector<FilePair> files;
   bool verify_checksum = true;
   std::string label;  // for history / debugging
+  // Telemetry parent span (e.g. the flow task that submitted this
+  // transfer); 0 makes the transfer span a root.
+  telemetry::SpanId trace_parent = 0;
 };
 
 struct TransferOutcome {
@@ -90,6 +94,9 @@ class TransferService {
  private:
   sim::Future<TransferOutcome> submit_impl(TransferSpec spec);
   net::Link* route(const std::string& src, const std::string& dst) const;
+  // Close the transfer span and bump the per-route counters.
+  void finish_telemetry(telemetry::SpanId span, const std::string& route_label,
+                        const TransferOutcome& outcome);
 
   sim::Engine& eng_;
   Rng rng_;

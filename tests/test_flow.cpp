@@ -59,6 +59,60 @@ TEST(RunDb, SummaryIgnoresFailures) {
   EXPECT_NEAR(db.success_rate("f"), 0.5, 1e-12);
 }
 
+TEST(RunDb, TaskDurationSummaryFiltersByFlowAndState) {
+  RunDatabase db;
+  auto add_task = [&](const std::string& run_id, const std::string& name,
+                      double start, double finish, RunState state) {
+    TaskRunRecord rec;
+    rec.flow_run_id = run_id;
+    rec.task_name = name;
+    rec.state = state;
+    rec.started_at = start;
+    rec.finished_at = finish;
+    db.record_task(rec);
+  };
+  auto a = db.create_run("recon", 0.0);
+  auto b = db.create_run("recon", 0.0);
+  auto other = db.create_run("archive", 0.0);
+  add_task(a, "stage", 0.0, 10.0, RunState::Completed);
+  add_task(a, "submit", 10.0, 40.0, RunState::Completed);
+  add_task(b, "stage", 0.0, 20.0, RunState::Completed);
+  add_task(b, "submit", 20.0, 30.0, RunState::Failed);     // excluded: failed
+  add_task(other, "stage", 0.0, 99.0, RunState::Completed); // excluded: flow
+
+  auto s = db.task_duration_summary("recon", "stage");
+  EXPECT_EQ(s.n, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 15.0);
+  EXPECT_DOUBLE_EQ(s.min, 10.0);
+  EXPECT_DOUBLE_EQ(s.max, 20.0);
+  EXPECT_EQ(db.task_duration_summary("recon", "submit").n, 1u);
+  // Empty flow name matches any flow.
+  EXPECT_EQ(db.task_duration_summary("", "stage").n, 3u);
+
+  auto names = db.task_names("recon");
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "stage");
+  EXPECT_EQ(names[1], "submit");
+}
+
+TEST(RunDb, TaskDurationSummaryLastN) {
+  RunDatabase db;
+  auto id = db.create_run("f", 0.0);
+  for (int i = 0; i < 10; ++i) {
+    TaskRunRecord rec;
+    rec.flow_run_id = id;
+    rec.task_name = "t";
+    rec.state = RunState::Completed;
+    rec.started_at = 0.0;
+    rec.finished_at = double(i + 1);  // durations 1..10
+    db.record_task(rec);
+  }
+  auto s = db.task_duration_summary("f", "t", 3);
+  EXPECT_EQ(s.n, 3u);  // last 3: durations 8, 9, 10
+  EXPECT_DOUBLE_EQ(s.mean, 9.0);
+  EXPECT_DOUBLE_EQ(s.min, 8.0);
+}
+
 TEST(FlowEngine, RunsRegisteredFlow) {
   World w;
   bool ran = false;
