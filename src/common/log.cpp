@@ -4,9 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 #include "common/telemetry.hpp"
+#include "common/thread_safety.hpp"
 
 namespace alsflow {
 
@@ -27,8 +27,8 @@ LogLevel level_from_env() {
 }
 
 std::atomic<LogLevel> g_level{level_from_env()};
-std::mutex g_mutex;  // guards g_sink and serializes stderr writes
-LogSink g_sink;
+Mutex g_mutex;  // guards g_sink and serializes stderr writes
+LogSink g_sink ALSFLOW_GUARDED_BY(g_mutex);
 
 }  // namespace
 
@@ -53,7 +53,7 @@ std::string format_log_line(const LogRecord& rec) {
 }
 
 void set_log_sink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  LockGuard lock(g_mutex);
   g_sink = std::move(sink);
 }
 
@@ -65,7 +65,7 @@ void log_line(LogLevel level, const std::string& component,
   rec.level = level;
   rec.component = component;
   rec.message = message;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  LockGuard lock(g_mutex);
   if (g_sink) {
     g_sink(rec);
   } else {

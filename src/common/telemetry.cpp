@@ -14,7 +14,7 @@ namespace alsflow::telemetry {
 
 SpanId Tracer::begin(std::string component, std::string name, SpanId parent,
                      ClockDomain domain, double t) {
-  std::lock_guard<std::mutex> lock(m_);
+  LockGuard lock(m_);
   SpanRecord rec;
   rec.id = next_++;
   rec.parent = parent;
@@ -27,20 +27,23 @@ SpanId Tracer::begin(std::string component, std::string name, SpanId parent,
   return spans_.back().id;
 }
 
+SpanRecord* Tracer::find_locked(SpanId id) {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &spans_[it->second];
+}
+
 void Tracer::end(SpanId id, double t) {
   if (id == 0) return;
-  std::lock_guard<std::mutex> lock(m_);
-  auto it = index_.find(id);
-  if (it == index_.end()) return;
-  spans_[it->second].end = t;
+  LockGuard lock(m_);
+  if (SpanRecord* rec = find_locked(id)) rec->end = t;
 }
 
 void Tracer::attr(SpanId id, std::string key, std::string value) {
   if (id == 0) return;
-  std::lock_guard<std::mutex> lock(m_);
-  auto it = index_.find(id);
-  if (it == index_.end()) return;
-  spans_[it->second].attrs.emplace_back(std::move(key), std::move(value));
+  LockGuard lock(m_);
+  if (SpanRecord* rec = find_locked(id)) {
+    rec->attrs.emplace_back(std::move(key), std::move(value));
+  }
 }
 
 void Tracer::attr(SpanId id, std::string key, double value) {
@@ -54,17 +57,17 @@ void Tracer::attr(SpanId id, std::string key, std::uint64_t value) {
 }
 
 std::vector<SpanRecord> Tracer::spans() const {
-  std::lock_guard<std::mutex> lock(m_);
+  LockGuard lock(m_);
   return spans_;
 }
 
 std::size_t Tracer::span_count() const {
-  std::lock_guard<std::mutex> lock(m_);
+  LockGuard lock(m_);
   return spans_.size();
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(m_);
+  LockGuard lock(m_);
   spans_.clear();
   index_.clear();
 }
@@ -270,7 +273,7 @@ void Histogram::reset() {
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& labels) {
-  std::lock_guard<std::mutex> lock(m_);
+  LockGuard lock(m_);
   auto& slot = counters_[{name, labels}];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -278,7 +281,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& labels) {
-  std::lock_guard<std::mutex> lock(m_);
+  LockGuard lock(m_);
   auto& slot = gauges_[{name, labels}];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -287,7 +290,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name,
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> upper_bounds,
                                       const std::string& labels) {
-  std::lock_guard<std::mutex> lock(m_);
+  LockGuard lock(m_);
   auto& slot = histograms_[{name, labels}];
   if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
   return *slot;
@@ -308,7 +311,7 @@ std::string series(const std::string& name, const std::string& labels,
 }  // namespace
 
 std::string MetricsRegistry::prometheus_text() const {
-  std::lock_guard<std::mutex> lock(m_);
+  LockGuard lock(m_);
   std::string out;
   std::string last_type_for;
   auto type_line = [&](const std::string& name, const char* type) {
@@ -346,7 +349,7 @@ std::string MetricsRegistry::prometheus_text() const {
 }
 
 std::string MetricsRegistry::json() const {
-  std::lock_guard<std::mutex> lock(m_);
+  LockGuard lock(m_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [key, c] : counters_) {
@@ -387,7 +390,7 @@ std::string MetricsRegistry::json() const {
 }
 
 std::string MetricsRegistry::report() const {
-  std::lock_guard<std::mutex> lock(m_);
+  LockGuard lock(m_);
   std::string out;
   char line[256];
   for (const auto& [key, c] : counters_) {
@@ -412,7 +415,7 @@ std::string MetricsRegistry::report() const {
 }
 
 void MetricsRegistry::clear() {
-  std::lock_guard<std::mutex> lock(m_);
+  LockGuard lock(m_);
   for (auto& [key, c] : counters_) c->reset();
   for (auto& [key, g] : gauges_) g->reset();
   for (auto& [key, h] : histograms_) h->reset();

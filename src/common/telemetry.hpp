@@ -36,13 +36,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/thread_safety.hpp"
 
 namespace alsflow::telemetry {
 
@@ -91,10 +91,13 @@ class Tracer {
   std::string chrome_trace_json() const;
 
  private:
-  mutable std::mutex m_;
-  std::vector<SpanRecord> spans_;
-  std::unordered_map<SpanId, std::size_t> index_;
-  SpanId next_ = 1;
+  // Locate an open span by id; nullptr for unknown ids (and id 0).
+  SpanRecord* find_locked(SpanId id) ALSFLOW_REQUIRES(m_);
+
+  mutable Mutex m_;
+  std::vector<SpanRecord> spans_ ALSFLOW_GUARDED_BY(m_);
+  std::unordered_map<SpanId, std::size_t> index_ ALSFLOW_GUARDED_BY(m_);
+  SpanId next_ ALSFLOW_GUARDED_BY(m_) = 1;
 };
 
 // ---------------------------------------------------------------------------
@@ -181,10 +184,11 @@ class MetricsRegistry {
 
  private:
   using Key = std::pair<std::string, std::string>;  // (name, labels)
-  mutable std::mutex m_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex m_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ ALSFLOW_GUARDED_BY(m_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ ALSFLOW_GUARDED_BY(m_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_
+      ALSFLOW_GUARDED_BY(m_);
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,134 @@
+// Compile-time race detection: clang thread-safety annotations.
+//
+// Clang's -Wthread-safety analysis turns locking contracts into compiler
+// errors: a field declared ALSFLOW_GUARDED_BY(mu_) cannot be touched
+// outside a scope that holds mu_, and a helper declared
+// ALSFLOW_REQUIRES(mu_) cannot be called without it. The CI matrix builds
+// with clang and -Werror=thread-safety, so "forgot the lock" is a build
+// break, not a TSan flake three weeks into a beamtime campaign. On GCC
+// (which has no such analysis) every macro expands to nothing and the
+// wrappers below behave exactly like the std primitives they wrap.
+//
+// Usage contract for alsflow code:
+//  * declare locks as alsflow::Mutex, never raw std::mutex (enforced by
+//    tools/alsflow_lint.py outside this file);
+//  * annotate every shared field with ALSFLOW_GUARDED_BY(mu_);
+//  * private helpers that expect the caller to hold the lock are named
+//    *_locked() and annotated ALSFLOW_REQUIRES(mu_);
+//  * public entry points that take the lock themselves may declare
+//    ALSFLOW_EXCLUDES(mu_) to catch self-deadlock at compile time;
+//  * never hold a LockGuard across a coroutine suspension point — the
+//    resuming thread would not own the lock. Sim-domain services lock in
+//    tight scopes between co_awaits.
+#pragma once
+
+#include <mutex>
+
+// Annotation spellings. __has_attribute guards against ancient clangs;
+// GCC and MSVC take the empty expansion.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ALSFLOW_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ALSFLOW_THREAD_ANNOTATION
+#define ALSFLOW_THREAD_ANNOTATION(x)  // no-op: GCC / MSVC / old clang
+#endif
+
+// A type that acts as a lock ("capability" in clang's vocabulary).
+#define ALSFLOW_CAPABILITY(x) ALSFLOW_THREAD_ANNOTATION(capability(x))
+// RAII type that acquires on construction, releases on destruction.
+#define ALSFLOW_SCOPED_CAPABILITY ALSFLOW_THREAD_ANNOTATION(scoped_lockable)
+// Field may only be read/written while holding the named capability.
+#define ALSFLOW_GUARDED_BY(x) ALSFLOW_THREAD_ANNOTATION(guarded_by(x))
+// Pointee (not the pointer itself) is protected by the capability.
+#define ALSFLOW_PT_GUARDED_BY(x) ALSFLOW_THREAD_ANNOTATION(pt_guarded_by(x))
+// Function requires the capability to be held on entry (and keeps it held).
+#define ALSFLOW_REQUIRES(...) \
+  ALSFLOW_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+// Function acquires / releases the capability.
+#define ALSFLOW_ACQUIRE(...) \
+  ALSFLOW_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ALSFLOW_RELEASE(...) \
+  ALSFLOW_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+// Function acquires the capability iff it returns `result`.
+#define ALSFLOW_TRY_ACQUIRE(result, ...) \
+  ALSFLOW_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+// Function must NOT be called with the capability held (self-deadlock).
+#define ALSFLOW_EXCLUDES(...) \
+  ALSFLOW_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// Function returns a reference to the named capability.
+#define ALSFLOW_RETURN_CAPABILITY(x) \
+  ALSFLOW_THREAD_ANNOTATION(lock_returned(x))
+// Escape hatch for code the analysis cannot model; use sparingly and say why.
+#define ALSFLOW_NO_THREAD_SAFETY_ANALYSIS \
+  ALSFLOW_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace alsflow {
+
+// std::mutex with a capability annotation so fields can be GUARDED_BY it.
+class ALSFLOW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ALSFLOW_ACQUIRE() { m_.lock(); }
+  void unlock() ALSFLOW_RELEASE() { m_.unlock(); }
+  bool try_lock() ALSFLOW_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  // Underlying mutex, for std::condition_variable interop only (see
+  // UniqueLock::native). Callers must not lock/unlock it directly —
+  // that would bypass the analysis.
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+// std::lock_guard equivalent; the analysis knows the capability is held
+// for exactly this object's lifetime.
+class ALSFLOW_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) ALSFLOW_ACQUIRE(m) : m_(m) { m_.lock(); }
+  // Adopt an already-held lock (caller must hold it; released on scope exit).
+  LockGuard(Mutex& m, std::adopt_lock_t) ALSFLOW_REQUIRES(m) : m_(m) {}
+  ~LockGuard() ALSFLOW_RELEASE() { m_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+// std::unique_lock equivalent: supports early unlock/relock, try-lock and
+// adopt construction, and condition-variable waits via native().
+class ALSFLOW_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) ALSFLOW_ACQUIRE(m) : lk_(m.native()) {}
+  UniqueLock(Mutex& m, std::adopt_lock_t) ALSFLOW_REQUIRES(m)
+      : lk_(m.native(), std::adopt_lock) {}
+  UniqueLock(Mutex& m, std::try_to_lock_t) ALSFLOW_TRY_ACQUIRE(true, m)
+      : lk_(m.native(), std::try_to_lock) {}
+  // Releases the capability if still owned.
+  ~UniqueLock() ALSFLOW_RELEASE() = default;
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() ALSFLOW_ACQUIRE() { lk_.lock(); }
+  void unlock() ALSFLOW_RELEASE() { lk_.unlock(); }
+  bool owns_lock() const { return lk_.owns_lock(); }
+
+  // For std::condition_variable::wait(...). The wait releases and
+  // reacquires the mutex internally; from the analysis's point of view the
+  // capability is held throughout, which is sound for callers (they hold
+  // it both before and after, and the predicate re-check happens locked).
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+}  // namespace alsflow

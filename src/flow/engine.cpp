@@ -133,7 +133,7 @@ sim::Future<Status> FlowEngine::run_task_impl(
     std::function<sim::Future<Status>()> body, TaskOptions options) {
   auto& tel = telemetry::global();
   if (!options.idempotency_key.empty()) {
-    if (idempotency_cache_.count(options.idempotency_key) != 0) {
+    if (idempotency_hit(options.idempotency_key)) {
       TaskRunRecord rec;
       rec.flow_run_id = ctx.run_id;
       rec.task_name = task_name;
@@ -166,7 +166,7 @@ sim::Future<Status> FlowEngine::run_task_impl(
   // Expose the active task span so the task body can parent its transfer /
   // HPC spans under it. Keyed by run_id: tasks of one flow run execute
   // sequentially, but runs of different flows interleave freely.
-  if (task_span != 0) active_task_spans_[ctx.run_id] = task_span;
+  if (task_span != 0) set_active_task_span(ctx.run_id, task_span);
 
   Status status = Status::success();
   Seconds next_delay = options.retry_delay;
@@ -184,7 +184,7 @@ sim::Future<Status> FlowEngine::run_task_impl(
     co_await sim::delay(sim_, next_delay);
     next_delay *= options.backoff;
   }
-  if (task_span != 0) active_task_spans_.erase(ctx.run_id);
+  if (task_span != 0) clear_active_task_span(ctx.run_id);
 
   rec.finished_at = sim_.now();
   rec.state = status.ok() ? RunState::Completed : RunState::Failed;
@@ -208,6 +208,7 @@ sim::Future<Status> FlowEngine::run_task_impl(
 }
 
 void FlowEngine::remember_idempotent_success(const std::string& key) {
+  LockGuard lock(mu_);
   if (!idempotency_cache_.insert(key).second) return;  // already cached
   idempotency_order_.push_back(key);
   // FIFO bound so long campaigns (millions of task runs) cannot grow the
@@ -216,6 +217,22 @@ void FlowEngine::remember_idempotent_success(const std::string& key) {
     idempotency_cache_.erase(idempotency_order_.front());
     idempotency_order_.pop_front();
   }
+}
+
+bool FlowEngine::idempotency_hit(const std::string& key) const {
+  LockGuard lock(mu_);
+  return idempotency_cache_.count(key) != 0;
+}
+
+void FlowEngine::set_active_task_span(const std::string& run_id,
+                                      telemetry::SpanId span) {
+  LockGuard lock(mu_);
+  active_task_spans_[run_id] = span;
+}
+
+void FlowEngine::clear_active_task_span(const std::string& run_id) {
+  LockGuard lock(mu_);
+  active_task_spans_.erase(run_id);
 }
 
 sim::Proc FlowEngine::schedule_loop(std::string name, Seconds interval,

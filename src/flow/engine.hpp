@@ -17,6 +17,7 @@
 
 #include "common/result.hpp"
 #include "common/telemetry.hpp"
+#include "common/thread_safety.hpp"
 #include "common/units.hpp"
 #include "flow/run_db.hpp"
 #include "sim/engine.hpp"
@@ -121,7 +122,9 @@ class FlowEngine {
   // Telemetry span of the task currently executing for `run_id` (0 when
   // telemetry is disabled or no task is active). Task bodies use this to
   // parent their transfer / HPC-job spans under the task span.
-  telemetry::SpanId task_span(const std::string& run_id) const {
+  telemetry::SpanId task_span(const std::string& run_id) const
+      ALSFLOW_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
     auto it = active_task_spans_.find(run_id);
     return it == active_task_spans_.end() ? 0 : it->second;
   }
@@ -129,7 +132,8 @@ class FlowEngine {
   // Successful-task idempotency cache: bounded (FIFO eviction) so long
   // campaigns don't grow it without limit.
   static constexpr std::size_t kIdempotencyCacheCapacity = 4096;
-  std::size_t idempotency_cache_size() const {
+  std::size_t idempotency_cache_size() const ALSFLOW_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
     return idempotency_cache_.size();
   }
 
@@ -150,15 +154,27 @@ class FlowEngine {
   sim::Proc schedule_loop(std::string name, Seconds interval,
                           Seconds initial_delay, std::string parameters,
                           std::shared_ptr<bool> alive);
-  void remember_idempotent_success(const std::string& key);
+  void remember_idempotent_success(const std::string& key)
+      ALSFLOW_EXCLUDES(mu_);
+  bool idempotency_hit(const std::string& key) const ALSFLOW_EXCLUDES(mu_);
+  void set_active_task_span(const std::string& run_id, telemetry::SpanId span)
+      ALSFLOW_EXCLUDES(mu_);
+  void clear_active_task_span(const std::string& run_id) ALSFLOW_EXCLUDES(mu_);
 
   sim::Engine& sim_;
   RunDatabase& db_;
   std::map<std::string, Registration> flows_;
   std::map<std::string, std::unique_ptr<sim::Semaphore>> pools_;
-  std::map<std::string, telemetry::SpanId> active_task_spans_;
-  std::set<std::string> idempotency_cache_;       // successful keys only
-  std::deque<std::string> idempotency_order_;     // insertion order (FIFO)
+  // Flow/task bookkeeping mutates on the single engine thread, but is read
+  // by cross-thread observers (tests, exporters); mu_ makes the contract
+  // machine-checked instead of conventional. Never held across co_await.
+  mutable Mutex mu_;
+  std::map<std::string, telemetry::SpanId> active_task_spans_
+      ALSFLOW_GUARDED_BY(mu_);
+  // Successful keys only.
+  std::set<std::string> idempotency_cache_ ALSFLOW_GUARDED_BY(mu_);
+  // Insertion order (FIFO eviction).
+  std::deque<std::string> idempotency_order_ ALSFLOW_GUARDED_BY(mu_);
   std::map<int, std::shared_ptr<bool>> schedules_;
   int next_schedule_ = 1;
 };

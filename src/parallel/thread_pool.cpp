@@ -45,7 +45,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -58,7 +58,7 @@ ThreadPool::~ThreadPool() {
 // still touch it (see Batch comment in the header).
 void ThreadPool::run_task(const Task& task) {
   (*task.body)(task.chunk_begin, task.chunk_end);
-  std::lock_guard<std::mutex> lock(task.batch->m);
+  LockGuard lock(task.batch->m);
   if (--task.batch->remaining == 0) task.batch->cv.notify_all();
 }
 
@@ -66,8 +66,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      // Explicit predicate loop (not the lambda overload): the thread-safety
+      // analysis treats a lambda as a separate function that does not hold
+      // mutex_, so guarded fields must be read in this scope directly.
+      while (!stop_ && queue_.empty()) cv_work_.wait(lock.native());
       if (stop_ && queue_.empty()) return;
       task = queue_.back();  // LIFO: innermost batches complete first
       queue_.pop_back();
@@ -111,7 +114,12 @@ void ThreadPool::run_chunks(
     body(begin, end);
     return;
   }
-  batch.remaining = tasks.size();
+  {
+    // Uncontended (the tasks are not yet published); taken only so the
+    // write to the guarded counter is lexically under its lock.
+    LockGuard lock(batch.m);
+    batch.remaining = tasks.size();
+  }
 
   // Wall-clock span per fan-out (one branch when telemetry is off; the
   // per-chunk cost for workers is a relaxed counter increment).
@@ -127,7 +135,7 @@ void ThreadPool::run_chunks(
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     queue_.insert(queue_.end(), tasks.begin(), tasks.end());
   }
   cv_work_.notify_all();
@@ -141,12 +149,8 @@ void ThreadPool::run_chunks(
   for (;;) {
     Task task;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      auto it = std::find_if(queue_.rbegin(), queue_.rend(),
-                             [&](const Task& t) { return t.batch == &batch; });
-      if (it == queue_.rend()) break;
-      task = *it;
-      queue_.erase(std::next(it).base());
+      LockGuard lock(mutex_);
+      if (!pop_batch_task_locked(batch, task)) break;
     }
     if (telemetry::global().enabled()) {
       auto& pm = pool_metrics();
@@ -159,10 +163,20 @@ void ThreadPool::run_chunks(
   // Whatever is left of our batch is currently executing on other threads;
   // each of those chunks finishes in finite time, so this wait cannot
   // deadlock even under arbitrary nesting.
-  std::unique_lock<std::mutex> lock(batch.m);
-  batch.cv.wait(lock, [&] { return batch.remaining == 0; });
-  lock.unlock();
+  {
+    UniqueLock lock(batch.m);
+    while (batch.remaining != 0) batch.cv.wait(lock.native());
+  }
   if (span != 0) tel.tracer().end(span, telemetry::Telemetry::wall_now());
+}
+
+bool ThreadPool::pop_batch_task_locked(const Batch& batch, Task& out) {
+  auto it = std::find_if(queue_.rbegin(), queue_.rend(),
+                         [&](const Task& t) { return t.batch == &batch; });
+  if (it == queue_.rend()) return false;
+  out = *it;
+  queue_.erase(std::next(it).base());
+  return true;
 }
 
 void ThreadPool::parallel_for_chunks(

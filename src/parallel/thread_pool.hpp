@@ -17,9 +17,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_safety.hpp"
 
 namespace alsflow::parallel {
 
@@ -60,9 +61,9 @@ class ThreadPool {
   // observe remaining == 0 and destroy the Batch while a worker still
   // holds (or is about to take) the lock.
   struct Batch {
-    std::mutex m;
+    Mutex m;
     std::condition_variable cv;
-    std::size_t remaining = 0;
+    std::size_t remaining ALSFLOW_GUARDED_BY(m) = 0;
   };
 
   struct Task {
@@ -72,16 +73,22 @@ class ThreadPool {
     Batch* batch;
   };
 
-  void worker_loop();
+  void worker_loop() ALSFLOW_EXCLUDES(mutex_);
   static void run_task(const Task& task);
   void run_chunks(const std::function<void(std::size_t, std::size_t)>& body,
-                  std::size_t begin, std::size_t end);
+                  std::size_t begin, std::size_t end)
+      ALSFLOW_EXCLUDES(mutex_);
+  // Pop the newest queued task belonging to `batch`, if any. Callers help-
+  // drain their own batch with this while waiting for stolen chunks.
+  bool pop_batch_task_locked(const Batch& batch, Task& out)
+      ALSFLOW_REQUIRES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;               // guards queue_ and stop_
+  Mutex mutex_;                    // guards queue_ and stop_
   std::condition_variable cv_work_;
-  std::vector<Task> queue_;        // LIFO: nested batches drain first
-  bool stop_ = false;
+  // LIFO: nested batches drain first.
+  std::vector<Task> queue_ ALSFLOW_GUARDED_BY(mutex_);
+  bool stop_ ALSFLOW_GUARDED_BY(mutex_) = false;
 };
 
 // Convenience wrappers over the global pool.

@@ -27,15 +27,21 @@ void StreamingService::begin_scan(const data::ScanMetadata& scan) {
                                 telemetry::ClockDomain::Sim, eng_.now());
     tel.tracer().attr(a.span, "n_angles", std::uint64_t(scan.n_angles));
   }
+  LockGuard lock(mu_);
   active_[scan.scan_id] = std::move(a);
 }
 
 sim::Proc StreamingService::pump() {
   for (;;) {
     beamline::FrameBatch batch = co_await sub_->queue().pop();
-    auto it = active_.find(batch.scan_id);
-    if (it == active_.end()) continue;  // streaming not enabled for scan
-    Active& a = it->second;
+    Active* found = nullptr;
+    {
+      LockGuard lock(mu_);
+      auto it = active_.find(batch.scan_id);
+      if (it != active_.end()) found = &it->second;
+    }
+    if (found == nullptr) continue;  // streaming not enabled for scan
+    Active& a = *found;
     a.frames += batch.count;
     a.bytes += batch.bytes;  // in-memory cache until acquisition completes
     {
@@ -53,7 +59,12 @@ sim::Proc StreamingService::pump() {
 }
 
 sim::Proc StreamingService::finalize(std::string scan_id) {
-  Active& a = active_.at(scan_id);
+  Active* found = nullptr;
+  {
+    LockGuard lock(mu_);
+    found = &active_.at(scan_id);
+  }
+  Active& a = *found;
   const telemetry::SpanId scan_span = a.span;
   StreamingReport report;
   report.scan_id = scan_id;
@@ -99,28 +110,38 @@ sim::Proc StreamingService::finalize(std::string scan_id) {
         .observe(report.preview_latency());
     tel.metrics().counter("alsflow_streaming_previews_total").add();
   }
-  ++delivered_;
   log_info("streaming") << scan_id << ": preview in "
                         << human_duration(report.preview_latency())
                         << " after acquisition";
   auto done = a.done;
-  reports_[scan_id] = report;
-  active_.erase(scan_id);
+  {
+    LockGuard lock(mu_);
+    ++delivered_;
+    reports_[scan_id] = report;
+    active_.erase(scan_id);
+  }
+  // Trigger outside the lock: resumed waiters may immediately call
+  // report() / previews_delivered(), which take mu_.
   done.trigger(report);
 }
 
 sim::Future<StreamingReport> StreamingService::wait_preview_impl(
     std::string scan_id) {
-  auto existing = reports_.find(scan_id);
-  if (existing != reports_.end()) co_return existing->second;
-  auto it = active_.find(scan_id);
-  assert(it != active_.end() && "scan not registered for streaming");
-  auto done = it->second.done;
-  co_return co_await done;
+  std::optional<sim::Event<StreamingReport>> done;
+  {
+    LockGuard lock(mu_);
+    auto existing = reports_.find(scan_id);
+    if (existing != reports_.end()) co_return existing->second;
+    auto it = active_.find(scan_id);
+    assert(it != active_.end() && "scan not registered for streaming");
+    done = it->second.done;
+  }
+  co_return co_await *done;
 }
 
 std::optional<StreamingReport> StreamingService::report(
     const std::string& scan_id) const {
+  LockGuard lock(mu_);
   auto it = reports_.find(scan_id);
   if (it == reports_.end()) return std::nullopt;
   return it->second;

@@ -15,6 +15,7 @@
 
 #include "beamline/frames.hpp"
 #include "common/telemetry.hpp"
+#include "common/thread_safety.hpp"
 #include "hpc/compute_model.hpp"
 #include "net/link.hpp"
 #include "net/pubsub.hpp"
@@ -50,8 +51,12 @@ class StreamingService {
     return wait_preview_impl(std::move(scan_id));
   }
 
-  std::optional<StreamingReport> report(const std::string& scan_id) const;
-  std::size_t previews_delivered() const { return delivered_; }
+  std::optional<StreamingReport> report(const std::string& scan_id) const
+      ALSFLOW_EXCLUDES(mu_);
+  std::size_t previews_delivered() const ALSFLOW_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
+    return delivered_;
+  }
 
  private:
   struct Active {
@@ -74,9 +79,14 @@ class StreamingService {
   net::Link& zmq_back_;
   hpc::ComputeModel model_;
   std::shared_ptr<net::Subscription<beamline::FrameBatch>> sub_;
-  std::map<std::string, Active> active_;
-  std::map<std::string, StreamingReport> reports_;
-  std::size_t delivered_ = 0;
+  // Scan state mutates on the single engine thread; mu_ machine-checks the
+  // container-access contract and keeps cross-thread readers (tests,
+  // exporters) safe. Never held across co_await; Active values reached
+  // through a looked-up pointer stay engine-thread-only.
+  mutable Mutex mu_;
+  std::map<std::string, Active> active_ ALSFLOW_GUARDED_BY(mu_);
+  std::map<std::string, StreamingReport> reports_ ALSFLOW_GUARDED_BY(mu_);
+  std::size_t delivered_ ALSFLOW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace alsflow::pipeline

@@ -6,13 +6,21 @@ namespace alsflow::transfer {
 
 void TransferService::add_route(const std::string& src_name,
                                 const std::string& dst_name, net::Link* link) {
+  LockGuard lock(mu_);
   routes_[{src_name, dst_name}] = link;
 }
 
 net::Link* TransferService::route(const std::string& src,
                                   const std::string& dst) const {
+  LockGuard lock(mu_);
   auto it = routes_.find({src, dst});
   return it == routes_.end() ? nullptr : it->second;
+}
+
+void TransferService::record_outcome(const TransferOutcome& outcome) {
+  LockGuard lock(mu_);
+  total_bytes_ += outcome.bytes_moved;
+  history_.push_back(outcome);
 }
 
 sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
@@ -32,7 +40,7 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
     outcome.status = Error::make("invalid_argument", "null endpoint");
     outcome.finished_at = eng_.now();
     finish_telemetry(span, "", outcome);
-    history_.push_back(outcome);
+    record_outcome(outcome);
     co_return outcome;
   }
   net::Link* link = route(spec.src->name(), spec.dst->name());
@@ -43,7 +51,7 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
         "no_route", spec.src->name() + " -> " + spec.dst->name());
     outcome.finished_at = eng_.now();
     finish_telemetry(span, route_label, outcome);
-    history_.push_back(outcome);
+    record_outcome(outcome);
     co_return outcome;
   }
 
@@ -132,9 +140,8 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
     outcome.status = first_error;
   }
   outcome.finished_at = eng_.now();
-  total_bytes_ += outcome.bytes_moved;
   finish_telemetry(span, route_label, outcome);
-  history_.push_back(outcome);
+  record_outcome(outcome);
   co_return outcome;
 }
 

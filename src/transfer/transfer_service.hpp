@@ -15,6 +15,7 @@
 
 #include "common/rng.hpp"
 #include "common/telemetry.hpp"
+#include "common/thread_safety.hpp"
 #include "common/units.hpp"
 #include "net/link.hpp"
 #include "sim/engine.hpp"
@@ -88,12 +89,23 @@ class TransferService {
     return submit_impl(std::move(spec));
   }
 
-  const std::vector<TransferOutcome>& history() const { return history_; }
-  Bytes total_bytes_moved() const { return total_bytes_; }
+  // Completed-transfer log. The reference stays stable (the vector member
+  // never moves); snapshot semantics only hold on the engine thread while
+  // no transfer is in flight.
+  const std::vector<TransferOutcome>& history() const ALSFLOW_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
+    return history_;
+  }
+  Bytes total_bytes_moved() const ALSFLOW_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
+    return total_bytes_;
+  }
 
  private:
   sim::Future<TransferOutcome> submit_impl(TransferSpec spec);
-  net::Link* route(const std::string& src, const std::string& dst) const;
+  net::Link* route(const std::string& src, const std::string& dst) const
+      ALSFLOW_EXCLUDES(mu_);
+  void record_outcome(const TransferOutcome& outcome) ALSFLOW_EXCLUDES(mu_);
   // Close the transfer span and bump the per-route counters.
   void finish_telemetry(telemetry::SpanId span, const std::string& route_label,
                         const TransferOutcome& outcome);
@@ -103,9 +115,15 @@ class TransferService {
   TransferTuning tuning_;
   double corruption_rate_ = 0.0;
   double transient_failure_rate_ = 0.0;
-  std::map<std::pair<std::string, std::string>, net::Link*> routes_;
-  std::vector<TransferOutcome> history_;
-  Bytes total_bytes_ = 0;
+  // Transfers run as coroutines on the single engine thread; mu_ makes the
+  // route-table / history access contract machine-checked and keeps
+  // cross-thread readers (tests, exporters) safe. Never held across
+  // co_await.
+  mutable Mutex mu_;
+  std::map<std::pair<std::string, std::string>, net::Link*> routes_
+      ALSFLOW_GUARDED_BY(mu_);
+  std::vector<TransferOutcome> history_ ALSFLOW_GUARDED_BY(mu_);
+  Bytes total_bytes_ ALSFLOW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace alsflow::transfer
