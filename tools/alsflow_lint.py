@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""Project lint: determinism, locking discipline, logging, header hygiene.
+
+The simulation must be byte-for-byte deterministic across re-runs (the
+paper's retry/idempotency story depends on it), so sim-domain code may not
+read wall clocks or OS randomness. Locking must go through the annotated
+alsflow::Mutex wrappers (common/thread_safety.hpp) so clang's
+-Wthread-safety analysis sees every lock site. Output goes through
+LogStream, never stdout. These invariants hold today; this lint keeps them
+enforced rather than assumed.
+
+Rules (over src/**, comments stripped before matching):
+
+  determinism    no wall-clock / randomness / sleeps in sim-domain code:
+                 system_clock, steady_clock, high_resolution_clock,
+                 clock_gettime, gettimeofday, std::time, rand, random_device,
+                 sleep_for, sleep_until, std::this_thread
+  raw-mutex      no std::mutex / std::lock_guard / std::unique_lock /
+                 std::scoped_lock / std::shared_mutex / std::recursive_mutex;
+                 use alsflow::Mutex / LockGuard / UniqueLock
+  stdout-logging no std::cout / std::cerr / printf / puts; use LogStream
+                 (log_info("component") << ...)
+  pragma-once    every .hpp must contain #pragma once
+
+Per-file allowlist: ALLOW below. A single line can be exempted with a
+trailing  // lint:allow <rule>  comment plus a reason.
+
+Exit status: 0 clean, 1 findings, 2 usage error. --selftest checks the
+rules against embedded bad snippets (so the lint itself is testable).
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Files (relative to src/) that may violate a rule, and why. Keep this
+# list short and justified; DESIGN.md §11 documents how to extend it.
+ALLOW = {
+    # Telemetry owns the ClockDomain::Wall time base (wall_now) — the one
+    # legitimate wall-clock read in the tree. Sim-domain spans get their
+    # timestamps passed in from the event engine.
+    "determinism": {
+        "common/telemetry.cpp",
+    },
+    # The annotated wrappers are implemented in terms of the std
+    # primitives they replace.
+    "raw-mutex": {
+        "common/thread_safety.hpp",
+    },
+    # The default log sink writes to stderr by design.
+    "stdout-logging": set(),
+    "pragma-once": set(),
+}
+
+# rule -> list of (compiled regex, human reason). Negative lookbehind
+# (?<![\w:]) keeps e.g. snprintf from matching printf and
+# sim_clock-like identifiers from matching rand.
+DETERMINISM_TOKENS = [
+    "system_clock",
+    "steady_clock",
+    "high_resolution_clock",
+    "clock_gettime",
+    "gettimeofday",
+    "random_device",
+    "sleep_for",
+    "sleep_until",
+]
+PATTERNS = {
+    "determinism": [
+        (re.compile(r"(?<![\w:])(?:std::(?:chrono::)?)?(" +
+                    "|".join(DETERMINISM_TOKENS) + r")(?![\w])"),
+         "sim-domain code must take time from sim::Engine::now() and "
+         "randomness from common/rng.hpp (seeded)"),
+        (re.compile(r"(?<![\w])std::this_thread(?![\w])"),
+         "no sleeping or yielding in sim-domain code"),
+        (re.compile(r"(?<![\w:])(?:std::)?s?rand\s*\("),
+         "use common/rng.hpp (seeded, reproducible)"),
+        (re.compile(r"(?<![\w:])std::time\s*\("),
+         "sim-domain code must take time from sim::Engine::now()"),
+    ],
+    "raw-mutex": [
+        (re.compile(r"(?<![\w])std::(mutex|shared_mutex|recursive_mutex|"
+                    r"lock_guard|unique_lock|scoped_lock)(?![\w])"),
+         "use alsflow::Mutex / LockGuard / UniqueLock "
+         "(common/thread_safety.hpp) so -Wthread-safety sees the lock"),
+    ],
+    "stdout-logging": [
+        (re.compile(r"(?<![\w])std::(cout|cerr)(?![\w])"),
+         "use LogStream: log_info(\"component\") << ..."),
+        (re.compile(r"(?<![\w:])(?:std::)?(printf|puts)\s*\("),
+         "use LogStream: log_info(\"component\") << ..."),
+        (re.compile(r"(?<![\w:])(?:std::)?fprintf\s*\(\s*stdout"),
+         "use LogStream: log_info(\"component\") << ..."),
+    ],
+}
+
+SUPPRESS = re.compile(r"//\s*lint:allow\s+([\w-]+)")
+
+
+def strip_comments(text):
+    """Blank out // and /* */ comments, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+            elif c == "'":
+                state = "chr"
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state == "str":
+            if c == "\\":
+                out.append(c + nxt)
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+            out.append(c)
+        elif state == "chr":
+            if c == "\\":
+                out.append(c + nxt)
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path, line_no, rule, message, line_text):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+        self.line_text = line_text
+
+    def render(self):
+        loc = f"{self.path}:{self.line_no}" if self.line_no else str(self.path)
+        return (f"{loc}: [{self.rule}] {self.message}\n"
+                f"  > {self.line_text.strip()}" if self.line_text
+                else f"{loc}: [{self.rule}] {self.message}")
+
+
+def lint_file(path, rel, findings):
+    raw = path.read_text(encoding="utf-8", errors="replace")
+
+    if str(path).endswith(".hpp") and rel not in ALLOW["pragma-once"]:
+        if "#pragma once" not in raw:
+            findings.append(Finding(path, 0, "pragma-once",
+                                    "header is missing #pragma once", ""))
+
+    raw_lines = raw.splitlines()
+    code_lines = strip_comments(raw).splitlines()
+    for rule, patterns in PATTERNS.items():
+        if rel in ALLOW[rule]:
+            continue
+        for line_no, code in enumerate(code_lines, start=1):
+            raw_line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+            m = SUPPRESS.search(raw_line)
+            if m and m.group(1) == rule:
+                continue
+            for pat, why in patterns:
+                hit = pat.search(code)
+                if hit:
+                    findings.append(Finding(
+                        path, line_no, rule,
+                        f"forbidden token '{hit.group(0).strip()}' — {why}",
+                        raw_line))
+                    break  # one finding per line per rule
+
+
+def run(root):
+    src = root / "src"
+    if not src.is_dir():
+        print(f"alsflow_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+    findings = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        lint_file(path, path.relative_to(src).as_posix(), findings)
+    for f in findings:
+        print(f.render())
+    n_files = sum(1 for _ in src.rglob("*.cpp")) + \
+        sum(1 for _ in src.rglob("*.hpp"))
+    if findings:
+        print(f"\nalsflow_lint: {len(findings)} finding(s) in {n_files} files")
+        return 1
+    print(f"alsflow_lint: OK ({n_files} files clean)")
+    return 0
+
+
+BAD_SNIPPETS = {
+    "determinism": [
+        "auto t = std::chrono::system_clock::now();",
+        "auto t = std::chrono::steady_clock::now();",
+        "std::this_thread::sleep_for(std::chrono::seconds(1));",
+        "std::random_device rd;",
+        "int x = rand();",
+        "int y = std::rand();",
+    ],
+    "raw-mutex": [
+        "std::mutex m;",
+        "std::lock_guard<std::mutex> lock(m);",
+        "std::unique_lock<std::mutex> lock(m);",
+        "std::scoped_lock lock(a, b);",
+    ],
+    "stdout-logging": [
+        'std::cout << "hello";',
+        'printf("hello\\n");',
+        'std::printf("hello\\n");',
+        'fprintf(stdout, "hello\\n");',
+    ],
+}
+
+GOOD_SNIPPETS = [
+    "std::snprintf(buf, sizeof buf, \"%g\", v);",     # not printf
+    "std::fprintf(stderr, \"%s\\n\", line.c_str());",  # stderr, not stdout
+    "alsflow::Mutex mu_;",
+    "LockGuard lock(mu_);",
+    "// comment mentioning std::mutex and steady_clock is fine",
+    "double t = eng_.now();",
+    "rng_.bernoulli(p);  // seeded",
+    "int operand = x;     // 'rand' inside a word",
+]
+
+
+def selftest():
+    failures = []
+    for rule, snippets in BAD_SNIPPETS.items():
+        for snippet in snippets:
+            code = strip_comments(snippet)
+            if not any(p.search(code) for p, _ in PATTERNS[rule]):
+                failures.append(f"[{rule}] should flag: {snippet}")
+    for snippet in GOOD_SNIPPETS:
+        code = strip_comments(snippet)
+        for rule, patterns in PATTERNS.items():
+            if any(p.search(code) for p, _ in patterns):
+                failures.append(f"[{rule}] should NOT flag: {snippet}")
+    for f in failures:
+        print(f)
+    print("alsflow_lint --selftest: " +
+          ("FAIL" if failures else "OK "
+           f"({sum(len(s) for s in BAD_SNIPPETS.values())} bad, "
+           f"{len(GOOD_SNIPPETS)} good snippets)"))
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path, default=Path(__file__).parent.parent,
+                    help="repository root (contains src/)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="check the rules against embedded snippets")
+    args = ap.parse_args()
+    if args.selftest:
+        return selftest()
+    return run(args.root.resolve())
+
+
+if __name__ == "__main__":
+    sys.exit(main())
