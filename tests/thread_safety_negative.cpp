@@ -1,0 +1,42 @@
+// try_compile fixture for the thread-safety analysis (tests/CMakeLists.txt).
+//
+// Compiled twice under clang at configure time:
+//   1. with -DALSFLOW_SEED_VIOLATION and -Werror=thread-safety — MUST FAIL:
+//      the seeded unguarded read of a GUARDED_BY field proves the
+//      annotations are live, not inert macros;
+//   2. without the define — MUST SUCCEED: the positive control proves the
+//      failure above comes from the violation, not an unrelated error.
+// On GCC the annotations are no-ops, so neither check is meaningful and
+// the configure step skips both.
+#include "common/thread_safety.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    alsflow::LockGuard lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() {
+#ifdef ALSFLOW_SEED_VIOLATION
+    return balance_;  // unguarded read: -Wthread-safety must reject this
+#else
+    alsflow::LockGuard lock(mu_);
+    return balance_;
+#endif
+  }
+
+ private:
+  alsflow::Mutex mu_;
+  int balance_ ALSFLOW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.balance() == 1 ? 0 : 1;
+}
