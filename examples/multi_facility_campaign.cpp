@@ -26,6 +26,20 @@ int main() {
   pipeline::FacilityConfig config;
   config.seed = 2026;
   pipeline::Facility facility(config);
+
+  // Pre-flight flow-graph validation: cycles, unreachable tasks, missing
+  // retry policies / idempotency keys, undeclared pools — all rejected in
+  // milliseconds, before a single scan commits beam time to a bad graph.
+  auto issues = facility.flows().validate();
+  if (!issues.empty()) {
+    for (const auto& iss : issues) {
+      std::fprintf(stderr, "flow validation: %s\n", iss.render().c_str());
+    }
+    return 1;
+  }
+  std::printf("pre-flight: %zu flows validated clean\n\n",
+              facility.flows().registered_flows());
+
   facility.start_background_load(hours(20));
   facility.start_pruning(hours(12));
 

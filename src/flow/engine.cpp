@@ -1,5 +1,6 @@
 #include "flow/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/log.hpp"
@@ -16,8 +17,175 @@ void FlowEngine::register_flow(const std::string& name, FlowFn fn,
   flows_[name] = Registration{std::move(fn), std::move(options)};
 }
 
+void FlowEngine::register_flow(const std::string& name, FlowFn fn,
+                               FlowOptions options, FlowSpec spec) {
+  Registration reg{std::move(fn), std::move(options)};
+  reg.spec = std::move(spec);
+  reg.has_spec = true;
+  flows_[name] = std::move(reg);
+}
+
 void FlowEngine::set_pool_limit(const std::string& pool, int limit) {
   pools_[pool] = std::make_unique<sim::Semaphore>(limit);
+  declared_pools_.insert(pool);
+}
+
+// ---------------------------------------------------------------------------
+// Static flow-graph validation
+// ---------------------------------------------------------------------------
+
+std::string ValidationIssue::render() const {
+  std::string out = "flow '" + flow + "'";
+  if (!task.empty()) out += " task '" + task + "'";
+  return out + ": [" + rule + "] " + message;
+}
+
+namespace {
+
+std::string join_path(const std::vector<std::string>& path) {
+  std::string out;
+  for (const auto& p : path) {
+    if (!out.empty()) out += " -> ";
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
+void FlowEngine::validate_registration(const std::string& name,
+                                       const Registration& reg,
+                                       std::vector<ValidationIssue>& out)
+    const {
+  const FlowSpec& spec = reg.spec;
+  auto issue = [&](const std::string& task, const std::string& rule,
+                   std::string message) {
+    out.push_back(ValidationIssue{name, task, rule, std::move(message)});
+  };
+
+  // Task name index (duplicates rejected; later rules use the first).
+  std::map<std::string, const TaskSpec*> by_name;
+  for (const auto& t : spec.tasks) {
+    if (!by_name.emplace(t.name, &t).second) {
+      issue(t.name, "duplicate-task",
+            "task '" + t.name + "' is declared more than once");
+    }
+  }
+
+  // Dependency edges must point at declared tasks.
+  std::set<std::string> broken;  // tasks that can never become runnable
+  for (const auto& t : spec.tasks) {
+    for (const auto& dep : t.depends_on) {
+      if (!by_name.count(dep)) {
+        issue(t.name, "unknown-dependency",
+              "task '" + t.name + "' depends on undeclared task '" + dep +
+                  "'");
+        broken.insert(t.name);
+      }
+    }
+  }
+
+  // Cycle detection (iterative-friendly DFS; graphs here are tiny).
+  // 0 = unvisited, 1 = on the current path, 2 = done.
+  std::map<std::string, int> color;
+  std::vector<std::string> path;
+  std::function<void(const std::string&)> dfs = [&](const std::string& cur) {
+    color[cur] = 1;
+    path.push_back(cur);
+    const TaskSpec* t = by_name.at(cur);
+    for (const auto& dep : t->depends_on) {
+      auto it = by_name.find(dep);
+      if (it == by_name.end()) continue;  // reported above
+      const int c = color[dep];
+      if (c == 0) {
+        dfs(dep);
+        if (broken.count(dep)) broken.insert(cur);
+      } else if (c == 1) {
+        // Found a back edge: report the cycle once, from dep onward.
+        auto start = std::find(path.begin(), path.end(), dep);
+        std::vector<std::string> cycle(start, path.end());
+        cycle.push_back(dep);
+        issue(cur, "dependency-cycle",
+              "task '" + cur + "' closes a dependency cycle: " +
+                  join_path(cycle));
+        broken.insert(cur);
+      } else if (broken.count(dep)) {
+        broken.insert(cur);
+      }
+    }
+    path.pop_back();
+    color[cur] = 2;
+  };
+  for (const auto& [task_name, t] : by_name) {
+    (void)t;
+    if (color[task_name] == 0) dfs(task_name);
+  }
+
+  for (const auto& [task_name, t] : by_name) {
+    // A task downstream of a cycle or an unknown dependency never runs.
+    if (broken.count(task_name)) {
+      bool direct = false;  // already reported with a more specific rule
+      for (const auto& o : out) {
+        if (o.task == task_name && o.rule != "unreachable-task" &&
+            (o.rule == "dependency-cycle" || o.rule == "unknown-dependency")) {
+          direct = true;
+        }
+      }
+      if (!direct) {
+        issue(task_name, "unreachable-task",
+              "task '" + task_name + "' can never run: a transitive "
+              "dependency is cyclic or undeclared");
+      }
+    }
+    // External-facility tasks must be retryable: the paper's whole premise
+    // is that cross-facility flows survive transient outages.
+    if ((t->uses_transfer || t->uses_hpc) && t->max_retries <= 0) {
+      issue(task_name, "missing-retry-policy",
+            "task '" + task_name + "' touches " +
+                (t->uses_transfer ? std::string("the transfer service")
+                                  : std::string("an HPC facility")) +
+                " but has no retry policy (max_retries <= 0)");
+    }
+    // Flow-level retries re-execute the body; completed tasks are only
+    // skipped if they carry an idempotency key.
+    if (reg.options.max_retries > 0 && t->idempotency_key.empty()) {
+      issue(task_name, "missing-idempotency-key",
+            "task '" + task_name + "' has no idempotency key but flow '" +
+                name + "' retries (max_retries=" +
+                std::to_string(reg.options.max_retries) +
+                "); a retried flow would re-execute completed work");
+    }
+  }
+
+  // The flow must route to a pool someone actually declared; auto-created
+  // pools get a default limit instead of the tuned concurrency.
+  if (!declared_pools_.count(reg.options.work_pool)) {
+    issue("", "undeclared-pool",
+          "flow '" + name + "' routes to work pool '" +
+              reg.options.work_pool +
+              "' which was never declared via set_pool_limit()");
+  }
+}
+
+std::vector<ValidationIssue> FlowEngine::validate() const {
+  std::vector<ValidationIssue> out;
+  for (const auto& [name, reg] : flows_) {
+    if (reg.has_spec) validate_registration(name, reg, out);
+  }
+  return out;
+}
+
+std::vector<ValidationIssue> FlowEngine::validate(
+    const std::string& name) const {
+  std::vector<ValidationIssue> out;
+  auto it = flows_.find(name);
+  if (it == flows_.end()) {
+    out.push_back(ValidationIssue{name, "", "unknown-flow",
+                                  "flow '" + name + "' is not registered"});
+    return out;
+  }
+  if (it->second.has_spec) validate_registration(name, it->second, out);
+  return out;
 }
 
 sim::Semaphore& FlowEngine::pool(const std::string& name) {
@@ -36,6 +204,22 @@ sim::Future<FlowRunResult> FlowEngine::run_flow_impl(std::string name,
     result.state = RunState::Failed;
     result.status = Error::make("unknown_flow", name);
     co_return result;
+  }
+  // Pre-flight: a spec'd flow must validate before any task executes. The
+  // clean verdict is cached per registration (re-registering resets it).
+  if (reg_it->second.has_spec && !reg_it->second.validated) {
+    auto issues = validate(name);
+    if (!issues.empty()) {
+      for (const auto& iss : issues) {
+        log_error("prefect") << "validation: " << iss.render();
+      }
+      FlowRunResult result;
+      result.state = RunState::Failed;
+      result.status = Error::make("flow_validation_failed",
+                                  issues.front().render());
+      co_return result;
+    }
+    reg_it->second.validated = true;
   }
   // Copy the registration into the coroutine frame before the first
   // suspension: re-registering the same flow name while this run is in
@@ -83,7 +267,7 @@ sim::Future<FlowRunResult> FlowEngine::run_flow_impl(std::string name,
   Status status = Status::success();
   int attempts = 1;
   for (int attempt = 0;; ++attempt) {
-    FlowContext ctx{*this, result.run_id, parameters, flow_span};
+    FlowContext ctx{*this, result.run_id, parameters, flow_span, name};
     status = co_await fn(ctx);
     if (status.ok() || attempt >= options.max_retries) break;
     attempts = attempt + 2;
@@ -122,15 +306,35 @@ sim::Future<FlowRunResult> FlowEngine::run_flow_impl(std::string name,
 }
 
 void FlowEngine::submit_flow(const std::string& name, std::string parameters) {
-  [](FlowEngine& self, std::string n, std::string p) -> sim::Proc {
-    (void)co_await self.run_flow(n, std::move(p));
-  }(*this, name, std::move(parameters))
+  [](FlowEngine* self, std::string n, std::string p) -> sim::Proc {
+    (void)co_await self->run_flow(n, std::move(p));
+  }(this, name, std::move(parameters))
       .detach();
 }
 
 sim::Future<Status> FlowEngine::run_task_impl(
-    const FlowContext& ctx, std::string task_name,
+    // ctx outlives the task by contract: it lives in the flow-body frame,
+    // which is suspended on (and therefore outlives) this coroutine. See
+    // the run_task comment in engine.hpp.
+    const FlowContext& ctx,  // astcheck:allow coroutine-ref-param caller-outlives contract, engine.hpp
+    std::string task_name,
     std::function<sim::Future<Status>()> body, TaskOptions options) {
+  // Cross-check execution against the declared graph: a task the spec
+  // doesn't know about means the spec (and everything validate() proved
+  // about it) is stale.
+  if (!ctx.flow_name.empty()) {
+    auto spec_it = flows_.find(ctx.flow_name);
+    if (spec_it != flows_.end() && spec_it->second.has_spec) {
+      const auto& ts = spec_it->second.spec.tasks;
+      const bool declared =
+          std::any_of(ts.begin(), ts.end(),
+                      [&](const TaskSpec& t) { return t.name == task_name; });
+      if (!declared) {
+        log_warn("prefect") << ctx.flow_name << ": task '" << task_name
+                            << "' executed but not declared in the FlowSpec";
+      }
+    }
+  }
   auto& tel = telemetry::global();
   if (!options.idempotency_key.empty()) {
     if (idempotency_hit(options.idempotency_key)) {

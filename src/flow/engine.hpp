@@ -14,6 +14,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/result.hpp"
 #include "common/telemetry.hpp"
@@ -36,6 +37,9 @@ struct FlowContext {
   // Telemetry span of this flow run (0 when telemetry is disabled). Tasks
   // started through run_task become children of this span.
   telemetry::SpanId span = 0;
+  // Name the run was registered under (validation cross-checks run_task
+  // calls against the flow's declared FlowSpec).
+  std::string flow_name;
 };
 
 using FlowFn = std::function<sim::Future<Status>(FlowContext)>;
@@ -61,6 +65,47 @@ struct FlowRunResult {
   Status status = Status::success();
 };
 
+// ---------------------------------------------------------------------------
+// Static flow-graph description (pre-flight validation)
+// ---------------------------------------------------------------------------
+//
+// A FlowSpec is the declared task graph of a flow: which tasks it runs,
+// their dependency edges, and their resilience contract (retry policy,
+// idempotency key, external-facility usage). FlowEngine::validate() checks
+// the spec *before any task executes*, so a malformed flow fails in
+// milliseconds at registration/campaign start instead of mid-shift with
+// beam time on the clock. Specs are opt-in per flow; spec-less flows
+// (tests, ad-hoc experiments) run unchecked as before.
+
+struct TaskSpec {
+  std::string name;
+  std::vector<std::string> depends_on;  // names of tasks that must precede
+  bool uses_transfer = false;  // touches the TransferService (Globus)
+  bool uses_hpc = false;       // touches an HPC facility adapter
+  int max_retries = 3;         // mirrors the TaskOptions used at run time
+  // Static key or key prefix; required on every task of a flow that has
+  // flow-level retries (a retried flow must skip completed work).
+  std::string idempotency_key;
+};
+
+struct FlowSpec {
+  std::vector<TaskSpec> tasks;
+  bool empty() const { return tasks.empty(); }
+};
+
+// One rejected property of a flow graph. `task` names the offending task
+// ("" for flow-level issues); `rule` is the machine-readable rejection:
+//   duplicate-task | unknown-dependency | dependency-cycle |
+//   unreachable-task | missing-retry-policy | missing-idempotency-key |
+//   undeclared-pool
+struct ValidationIssue {
+  std::string flow;
+  std::string task;
+  std::string rule;
+  std::string message;
+  std::string render() const;
+};
+
 class FlowEngine {
  public:
   FlowEngine(sim::Engine& sim, RunDatabase& db);
@@ -70,8 +115,23 @@ class FlowEngine {
 
   void register_flow(const std::string& name, FlowFn fn,
                      FlowOptions options = {});
+  // Registration with a declared task graph: the spec is validated lazily
+  // on the first run (and eagerly by validate()); a run of an invalid flow
+  // fails immediately with `flow_validation_failed` before any task body
+  // executes.
+  void register_flow(const std::string& name, FlowFn fn, FlowOptions options,
+                     FlowSpec spec);
 
-  // Set (or resize) a work pool's concurrency limit.
+  // Static pre-flight pass over registered flow specs. Returns every
+  // violated graph property (empty == all declared graphs are sound).
+  // The one-argument form checks a single flow.
+  std::vector<ValidationIssue> validate() const;
+  std::vector<ValidationIssue> validate(const std::string& name) const;
+
+  // Set (or resize) a work pool's concurrency limit. Also *declares* the
+  // pool: validate() rejects specs whose flow routes to a pool that was
+  // never declared (run-time would silently auto-create it instead of
+  // honouring the tuned concurrency).
   void set_pool_limit(const std::string& pool, int limit);
 
   // Submit a run; resolves when the run reaches a terminal state.
@@ -141,7 +201,13 @@ class FlowEngine {
   struct Registration {
     FlowFn fn;
     FlowOptions options;
+    FlowSpec spec;
+    bool has_spec = false;
+    bool validated = false;  // cached clean verdict; reset on re-register
   };
+
+  void validate_registration(const std::string& name, const Registration& reg,
+                             std::vector<ValidationIssue>& out) const;
 
   sim::Future<FlowRunResult> run_flow_impl(std::string name,
                                            std::string parameters);
@@ -165,6 +231,7 @@ class FlowEngine {
   RunDatabase& db_;
   std::map<std::string, Registration> flows_;
   std::map<std::string, std::unique_ptr<sim::Semaphore>> pools_;
+  std::set<std::string> declared_pools_;
   // Flow/task bookkeeping mutates on the single engine thread, but is read
   // by cross-thread observers (tests, exporters); mu_ makes the contract
   // machine-checked instead of conventional. Never held across co_await.

@@ -102,11 +102,11 @@ class Channel {
   void deliver_via_link(Entry& entry, T msg) {
     const Bytes bytes = entry.size_fn ? entry.size_fn(msg) : 0;
     // Fire-and-forget coroutine: traverse the link, then deliver.
-    [](Link& link, Bytes b, std::shared_ptr<Subscription<T>> sub,
+    [](Link* link, Bytes b, std::shared_ptr<Subscription<T>> sub,
        T m) -> sim::Proc {
-      co_await link.send(b);
+      co_await link->send(b);
       sub->deliver(std::move(m));
-    }(*entry.link, bytes, entry.sub, std::move(msg))
+    }(entry.link, bytes, entry.sub, std::move(msg))
         .detach();
   }
 
@@ -125,15 +125,14 @@ class MirrorServer {
   MirrorServer(sim::Engine& eng, Channel<T>& upstream, std::string name)
       : out_(eng, std::move(name)),
         in_(upstream.subscribe()) {
-    pump(eng).detach();
+    pump().detach();
   }
 
   Channel<T>& channel() { return out_; }
   std::size_t forwarded() const { return forwarded_; }
 
  private:
-  sim::Proc pump(sim::Engine& eng) {
-    (void)eng;
+  sim::Proc pump() {
     for (;;) {
       T msg = co_await in_->queue().pop();
       ++forwarded_;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/log.hpp"
+
 namespace alsflow::pipeline {
 
 const char* scan_kind_name(ScanKind k) {
@@ -68,10 +70,14 @@ std::vector<Persona> default_personas() {
 
 namespace {
 
-sim::Proc drive(Facility& facility, CampaignConfig config,
-                std::size_t& started) {
+// Pointers, not references: this is a detached coroutine, and reference
+// parameters dangle once the frame outlives the call (astcheck
+// coroutine-ref-param). Both pointees live in run_campaign's frame, which
+// blocks in run_until() until the driver finishes.
+sim::Proc drive(Facility* facility, CampaignConfig config,
+                std::size_t* started) {
   Rng rng(config.seed);
-  sim::Engine& eng = facility.engine();
+  sim::Engine& eng = facility->engine();
   const Seconds end = eng.now() + config.duration;
   std::size_t index = 0;
   while (eng.now() < end) {
@@ -80,8 +86,8 @@ sim::Proc drive(Facility& facility, CampaignConfig config,
     data::ScanMetadata scan = make_scan(rng, kind, index++);
     ScanOptions options;
     options.streaming = rng.bernoulli(config.streaming_fraction);
-    facility.submit_scan(std::move(scan), options);
-    ++started;
+    facility->submit_scan(std::move(scan), options);
+    ++*started;
     co_await sim::delay(
         eng, rng.uniform(config.scan_interval_mean * 0.6,
                          config.scan_interval_mean * 1.4));
@@ -92,9 +98,19 @@ sim::Proc drive(Facility& facility, CampaignConfig config,
 
 CampaignReport run_campaign(Facility& facility, const CampaignConfig& config) {
   CampaignReport report;
+  // Pre-flight: refuse to start a shift on a malformed flow graph. The
+  // issues name the offending flow/task, so the fix is a code change away
+  // instead of a post-mortem.
+  const auto issues = facility.flows().validate();
+  if (!issues.empty()) {
+    for (const auto& iss : issues) {
+      log_error("campaign") << "flow validation: " << iss.render();
+    }
+    return report;  // zero scans started: nothing ran
+  }
   const Seconds t_end =
       facility.engine().now() + config.duration + config.drain_margin;
-  drive(facility, config, report.scans_started).detach();
+  drive(&facility, config, &report.scans_started).detach();
   // run_until (not run): periodic schedules like pruning never quiesce.
   facility.engine().run_until(t_end);
 

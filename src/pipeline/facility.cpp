@@ -7,6 +7,34 @@
 
 namespace alsflow::pipeline {
 
+namespace {
+
+// Declared task graph entry. The spec'd idempotency key is the static
+// prefix; run time appends the scan id (see keyed() below) so a retried
+// flow skips completed work for *this* scan only.
+flow::TaskSpec task_spec(const std::string& flow, const std::string& name,
+                         std::vector<std::string> deps, bool uses_transfer,
+                         bool uses_hpc) {
+  flow::TaskSpec t;
+  t.name = name;
+  t.depends_on = std::move(deps);
+  t.uses_transfer = uses_transfer;
+  t.uses_hpc = uses_hpc;
+  t.idempotency_key = flow + ":" + name;
+  return t;
+}
+
+// Scan-scoped idempotency key for a task invocation: flow retries skip
+// tasks that already succeeded for this scan, instead of re-running the
+// transfer / HPC job (the paper's idempotent re-execution contract).
+flow::TaskOptions keyed(const flow::FlowContext& ctx, const char* task) {
+  flow::TaskOptions o;
+  o.idempotency_key = ctx.flow_name + ":" + task + ":" + ctx.parameters;
+  return o;
+}
+
+}  // namespace
+
 Facility::Facility(FacilityConfig config)
     : config_(config),
       rng_(config.seed),
@@ -55,6 +83,17 @@ Facility::Facility(FacilityConfig config)
       });
 
   register_flows();
+
+  // Pre-flight: every shipped flow graph must validate clean before the
+  // first scan. A malformed graph is a programming error, caught here in
+  // milliseconds rather than mid-shift (ISSUE: beam time is too scarce to
+  // discover a bad flow at run time).
+  const auto issues = flows_.validate();
+  for (const auto& iss : issues) {
+    log_error("facility") << "flow validation: " << iss.render();
+  }
+  assert(issues.empty() && "shipped flow specs must validate clean");
+  (void)issues;
 }
 
 void Facility::register_flows() {
@@ -62,47 +101,80 @@ void Facility::register_flows() {
   staging.max_retries = 2;
   staging.retry_delay = 30.0;
   staging.work_pool = "default";
+  flow::FlowSpec staging_spec;
+  staging_spec.tasks = {
+      task_spec("new_file_832", "copy_to_data_server", {}, true, false),
+      task_spec("new_file_832", "scicat_ingest", {"copy_to_data_server"},
+                false, false),
+  };
   flows_.register_flow(
       "new_file_832",
-      [this](flow::FlowContext ctx) { return new_file_832(ctx); }, staging);
+      [this](flow::FlowContext ctx) { return new_file_832(ctx); }, staging,
+      staging_spec);
 
   flow::FlowOptions hpc_opts;
   hpc_opts.max_retries = 1;
   hpc_opts.retry_delay = 60.0;
   hpc_opts.work_pool = "hpc-nersc";
+  flow::FlowSpec nersc_spec;
+  nersc_spec.tasks = {
+      task_spec("nersc_recon_flow", "globus_to_cfs", {}, true, false),
+      task_spec("nersc_recon_flow", "sfapi_recon_job", {"globus_to_cfs"},
+                false, true),
+      task_spec("nersc_recon_flow", "globus_back_to_beamline",
+                {"sfapi_recon_job"}, true, false),
+      task_spec("nersc_recon_flow", "scicat_derived",
+                {"globus_back_to_beamline"}, false, false),
+  };
   flows_.register_flow(
       "nersc_recon_flow",
       [this](flow::FlowContext ctx) { return nersc_recon_flow(ctx); },
-      hpc_opts);
+      hpc_opts, nersc_spec);
   hpc_opts.work_pool = "hpc-alcf";
+  flow::FlowSpec alcf_spec;
+  alcf_spec.tasks = {
+      task_spec("alcf_recon_flow", "globus_to_eagle", {}, true, false),
+      task_spec("alcf_recon_flow", "globus_compute_recon",
+                {"globus_to_eagle"}, false, true),
+      task_spec("alcf_recon_flow", "globus_back_to_beamline",
+                {"globus_compute_recon"}, true, false),
+      task_spec("alcf_recon_flow", "scicat_derived",
+                {"globus_back_to_beamline"}, false, false),
+  };
   flows_.register_flow(
       "alcf_recon_flow",
       [this](flow::FlowContext ctx) { return alcf_recon_flow(ctx); },
-      hpc_opts);
+      hpc_opts, alcf_spec);
 
   flow::FlowOptions archive_opts;
   archive_opts.max_retries = 2;
   archive_opts.retry_delay = 300.0;  // tape is patient
   archive_opts.work_pool = "hpc-nersc";
+  flow::FlowSpec archive_spec;
+  archive_spec.tasks = {
+      task_spec("hpss_archive_flow", "archive_to_tape", {}, true, true),
+  };
   flows_.register_flow(
       "hpss_archive_flow",
       [this](flow::FlowContext ctx) { return hpss_archive_flow(ctx); },
-      archive_opts);
+      archive_opts, archive_spec);
 
+  // Pruning flows run no tracked tasks; an empty spec still pins the
+  // work-pool declaration check.
   flow::FlowOptions prune_opts;
   prune_opts.work_pool = "default";
   flows_.register_flow(
       "prune_beamline",
-      [this](flow::FlowContext) { return prune_endpoint_flow(beamline_data_); },
-      prune_opts);
+      [this](flow::FlowContext) { return prune_endpoint_flow(&beamline_data_); },
+      prune_opts, flow::FlowSpec{});
   flows_.register_flow(
       "prune_cfs",
-      [this](flow::FlowContext) { return prune_endpoint_flow(cfs_); },
-      prune_opts);
+      [this](flow::FlowContext) { return prune_endpoint_flow(&cfs_); },
+      prune_opts, flow::FlowSpec{});
   flows_.register_flow(
       "prune_eagle",
-      [this](flow::FlowContext) { return prune_endpoint_flow(eagle_); },
-      prune_opts);
+      [this](flow::FlowContext) { return prune_endpoint_flow(&eagle_); },
+      prune_opts, flow::FlowSpec{});
 }
 
 // ---------------------------------------------------------------------------
@@ -134,7 +206,8 @@ sim::Future<Status> Facility::new_file_832(flow::FlowContext ctx) {
         auto outcome = co_await globus_.submit(std::move(spec));
         co_return outcome.status;
       };
-  Status copied = co_await flows_.run_task(ctx, "copy_to_data_server", copied_task);
+  Status copied = co_await flows_.run_task(ctx, "copy_to_data_server", copied_task,
+                              keyed(ctx, "copy_to_data_server"));
   if (!copied.ok()) co_return copied;
 
   // Task 2: ingest scan metadata into SciCat.
@@ -147,7 +220,8 @@ sim::Future<Status> Facility::new_file_832(flow::FlowContext ctx) {
                            scan.as_fields());
         co_return Status::success();
       };
-  co_return co_await flows_.run_task(ctx, "scicat_ingest", scicat_ingest_task);
+  co_return co_await flows_.run_task(ctx, "scicat_ingest", scicat_ingest_task,
+                              keyed(ctx, "scicat_ingest"));
 }
 
 Seconds Facility::nersc_staging_seconds(const data::ScanMetadata& scan) const {
@@ -180,7 +254,8 @@ sim::Future<Status> Facility::nersc_recon_flow(flow::FlowContext ctx) {
         auto outcome = co_await globus_.submit(std::move(spec));
         co_return outcome.status;
       };
-  Status moved = co_await flows_.run_task(ctx, "globus_to_cfs", moved_task);
+  Status moved = co_await flows_.run_task(ctx, "globus_to_cfs", moved_task,
+                              keyed(ctx, "globus_to_cfs"));
   if (!moved.ok()) co_return moved;
 
   // Task 2: SFAPI -> Slurm realtime job (podman container; stages to
@@ -199,7 +274,8 @@ sim::Future<Status> Facility::nersc_recon_flow(flow::FlowContext ctx) {
         co_return cfs_.put(cfs_recon, Bytes(double(scan.recon_bytes()) * 1.3),
                            fnv1a64(cfs_recon), eng_.now());
       };
-  Status recon = co_await flows_.run_task(ctx, "sfapi_recon_job", recon_task);
+  Status recon = co_await flows_.run_task(ctx, "sfapi_recon_job", recon_task,
+                              keyed(ctx, "sfapi_recon_job"));
   if (!recon.ok()) co_return recon;
 
   // Task 3: move the reconstruction products back to the beamline.
@@ -215,7 +291,8 @@ sim::Future<Status> Facility::nersc_recon_flow(flow::FlowContext ctx) {
         auto outcome = co_await globus_.submit(std::move(spec));
         co_return outcome.status;
       };
-  Status back = co_await flows_.run_task(ctx, "globus_back_to_beamline", back_task);
+  Status back = co_await flows_.run_task(ctx, "globus_back_to_beamline", back_task,
+                              keyed(ctx, "globus_back_to_beamline"));
   if (!back.ok()) co_return back;
 
   // Task 4: register the derived dataset with provenance.
@@ -231,7 +308,8 @@ sim::Future<Status> Facility::nersc_recon_flow(flow::FlowContext ctx) {
                        parent == raw_pids_.end() ? "" : parent->second);
         co_return Status::success();
       };
-  co_return co_await flows_.run_task(ctx, "scicat_derived", scicat_derived_task);
+  co_return co_await flows_.run_task(ctx, "scicat_derived", scicat_derived_task,
+                              keyed(ctx, "scicat_derived"));
 }
 
 sim::Future<Status> Facility::alcf_recon_flow(flow::FlowContext ctx) {
@@ -253,7 +331,8 @@ sim::Future<Status> Facility::alcf_recon_flow(flow::FlowContext ctx) {
         auto outcome = co_await globus_.submit(std::move(spec));
         co_return outcome.status;
       };
-  Status moved = co_await flows_.run_task(ctx, "globus_to_eagle", moved_task);
+  Status moved = co_await flows_.run_task(ctx, "globus_to_eagle", moved_task,
+                              keyed(ctx, "globus_to_eagle"));
   if (!moved.ok()) co_return moved;
 
   // Globus Compute function: reconstruct directly against Eagle (pilot
@@ -275,7 +354,8 @@ sim::Future<Status> Facility::alcf_recon_flow(flow::FlowContext ctx) {
                              Bytes(double(scan.recon_bytes()) * 1.3),
                              fnv1a64(eagle_recon), eng_.now());
       };
-  Status recon = co_await flows_.run_task(ctx, "globus_compute_recon", recon_task);
+  Status recon = co_await flows_.run_task(ctx, "globus_compute_recon", recon_task,
+                              keyed(ctx, "globus_compute_recon"));
   if (!recon.ok()) co_return recon;
 
   std::function<sim::Future<Status>()> back_task =
@@ -290,7 +370,8 @@ sim::Future<Status> Facility::alcf_recon_flow(flow::FlowContext ctx) {
         auto outcome = co_await globus_.submit(std::move(spec));
         co_return outcome.status;
       };
-  Status back = co_await flows_.run_task(ctx, "globus_back_to_beamline", back_task);
+  Status back = co_await flows_.run_task(ctx, "globus_back_to_beamline", back_task,
+                              keyed(ctx, "globus_back_to_beamline"));
   if (!back.ok()) co_return back;
 
   std::function<sim::Future<Status>()> scicat_derived_task =
@@ -305,7 +386,8 @@ sim::Future<Status> Facility::alcf_recon_flow(flow::FlowContext ctx) {
                        parent == raw_pids_.end() ? "" : parent->second);
         co_return Status::success();
       };
-  co_return co_await flows_.run_task(ctx, "scicat_derived", scicat_derived_task);
+  co_return co_await flows_.run_task(ctx, "scicat_derived", scicat_derived_task,
+                              keyed(ctx, "scicat_derived"));
 }
 
 sim::Future<Status> Facility::hpss_archive_flow(flow::FlowContext ctx) {
@@ -330,14 +412,15 @@ sim::Future<Status> Facility::hpss_archive_flow(flow::FlowContext ctx) {
         auto outcome = co_await globus_.submit(std::move(spec));
         co_return outcome.status;
       };
-  co_return co_await flows_.run_task(ctx, "archive_to_tape", archive_task);
+  co_return co_await flows_.run_task(ctx, "archive_to_tape", archive_task,
+                              keyed(ctx, "archive_to_tape"));
 }
 
 sim::Future<Status> Facility::prune_endpoint_flow(
-    storage::StorageEndpoint& ep) {
+    storage::StorageEndpoint* ep) {
   co_await sim::delay(eng_, 1.0);  // directory walk
-  auto policy = storage::default_policy(ep.tier());
-  auto report = storage::prune_pass(ep, policy, eng_.now());
+  auto policy = storage::default_policy(ep->tier());
+  auto report = storage::prune_pass(*ep, policy, eng_.now());
   if (!report.errors.empty()) {
     // Post-incident behaviour: fail early and surface the error instead of
     // hammering the endpoint with doomed delete requests.
@@ -431,9 +514,9 @@ sim::Future<ScanOutcome> Facility::process_scan_impl(data::ScanMetadata scan,
 }
 
 void Facility::submit_scan(data::ScanMetadata scan, ScanOptions options) {
-  [](Facility& self, data::ScanMetadata s, ScanOptions o) -> sim::Proc {
-    (void)co_await self.process_scan(std::move(s), o);
-  }(*this, std::move(scan), options)
+  [](Facility* self, data::ScanMetadata s, ScanOptions o) -> sim::Proc {
+    (void)co_await self->process_scan(std::move(s), o);
+  }(this, std::move(scan), options)
       .detach();
 }
 

@@ -144,7 +144,9 @@ class Facility {
   sim::Future<Status> nersc_recon_flow(flow::FlowContext ctx);
   sim::Future<Status> alcf_recon_flow(flow::FlowContext ctx);
   sim::Future<Status> hpss_archive_flow(flow::FlowContext ctx);
-  sim::Future<Status> prune_endpoint_flow(storage::StorageEndpoint& ep);
+  // Pointer, not reference: the endpoint is a Facility member and the
+  // coroutine frame outlives the call (astcheck coroutine-ref-param).
+  sim::Future<Status> prune_endpoint_flow(storage::StorageEndpoint* ep);
 
   const data::ScanMetadata& scan_for(const std::string& scan_id) const {
     return scans_.at(scan_id);

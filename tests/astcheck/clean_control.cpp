@@ -1,0 +1,48 @@
+// Corpus control: realistic clean coroutine/flow idioms lifted from the
+// tree. Any finding in this file is a false positive and fails the
+// corpus run. Parsed, never compiled.
+#include "corpus_stubs.hpp"
+
+namespace corpus {
+
+struct CleanControl {
+  Engine engine_;
+  Pool pool_;
+  Mutex mu_;
+  int hits_ = 0;
+
+  // The repo's detached-submit idiom: pointer self, everything by value
+  // (src/pipeline/facility.cpp submit_scan).
+  void submit(std::string name) {
+    [](CleanControl* self, std::string n) -> Proc {
+      (void)co_await self->run(n.size());
+    }(this, std::move(name))
+        .detach();
+  }
+
+  // Guard scoped before the suspension; co_return with no live guard.
+  Future<int> run(std::size_t n) {
+    {
+      LockGuard lock(mu_);
+      ++hits_;
+    }
+    co_await delay(double(n));
+    co_return int(n);
+  }
+
+  // Task bodies bound to named std::function locals, this-capture only
+  // (the GCC 12 named-local convention from the flow bodies).
+  Future<int> flow_body(std::string scan_id) {
+    std::function<int(int)> task = [this](int v) { return v + hits_; };
+    engine_.register_flow(scan_id, task);
+    co_await delay(1.0);
+    co_return task(0);
+  }
+
+  // Stored periodic callback with this + value captures only.
+  void schedule(double interval) {
+    engine_.schedule_periodic("prune", interval, [this]() { ++hits_; });
+  }
+};
+
+}  // namespace corpus

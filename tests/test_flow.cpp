@@ -431,5 +431,200 @@ TEST(FlowEngine, PeriodicScheduleRunsAndCancels) {
   EXPECT_EQ(runs, 4);  // cancellation takes effect before the next firing
 }
 
+// ---------------------------------------------------------------------------
+// Static flow-graph validation (FlowEngine::validate)
+// ---------------------------------------------------------------------------
+
+FlowFn noop_flow() {
+  return [](FlowContext) -> sim::Future<Status> {
+    co_return Status::success();
+  };
+}
+
+TaskSpec simple_task(std::string name, std::vector<std::string> deps = {}) {
+  TaskSpec t;
+  t.name = name;
+  t.depends_on = std::move(deps);
+  t.idempotency_key = "corpus:" + name;
+  return t;
+}
+
+const ValidationIssue* find_issue(const std::vector<ValidationIssue>& issues,
+                                  const std::string& rule) {
+  for (const auto& i : issues) {
+    if (i.rule == rule) return &i;
+  }
+  return nullptr;
+}
+
+TEST(FlowValidation, CleanGraphPasses) {
+  World w;
+  FlowSpec spec;
+  spec.tasks = {simple_task("stage"), simple_task("ingest", {"stage"})};
+  w.flows.register_flow("f", noop_flow(), FlowOptions{}, spec);
+  EXPECT_TRUE(w.flows.validate().empty());
+  EXPECT_TRUE(w.flows.validate("f").empty());
+}
+
+TEST(FlowValidation, SpecLessFlowsAreNotValidated) {
+  World w;
+  w.flows.register_flow("adhoc", noop_flow());
+  EXPECT_TRUE(w.flows.validate().empty());
+  EXPECT_TRUE(w.flows.validate("adhoc").empty());
+}
+
+TEST(FlowValidation, RejectsDuplicateTask) {
+  World w;
+  FlowSpec spec;
+  spec.tasks = {simple_task("stage"), simple_task("stage")};
+  w.flows.register_flow("f", noop_flow(), FlowOptions{}, spec);
+  auto issues = w.flows.validate("f");
+  const auto* issue = find_issue(issues, "duplicate-task");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->task, "stage");
+  EXPECT_NE(issue->message.find("stage"), std::string::npos);
+}
+
+TEST(FlowValidation, RejectsUnknownDependency) {
+  World w;
+  FlowSpec spec;
+  spec.tasks = {simple_task("ingest", {"phantom_task"})};
+  w.flows.register_flow("f", noop_flow(), FlowOptions{}, spec);
+  auto issues = w.flows.validate("f");
+  const auto* issue = find_issue(issues, "unknown-dependency");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->task, "ingest");
+  EXPECT_NE(issue->message.find("phantom_task"), std::string::npos);
+}
+
+TEST(FlowValidation, RejectsDependencyCycleNamingThePath) {
+  World w;
+  FlowSpec spec;
+  spec.tasks = {simple_task("alpha", {"gamma"}),
+                simple_task("beta", {"alpha"}),
+                simple_task("gamma", {"beta"})};
+  w.flows.register_flow("f", noop_flow(), FlowOptions{}, spec);
+  auto issues = w.flows.validate("f");
+  const auto* issue = find_issue(issues, "dependency-cycle");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_FALSE(issue->task.empty());
+  // The diagnostic spells out the whole cycle, not just one edge.
+  EXPECT_NE(issue->message.find("alpha"), std::string::npos);
+  EXPECT_NE(issue->message.find("beta"), std::string::npos);
+  EXPECT_NE(issue->message.find("gamma"), std::string::npos);
+  EXPECT_NE(issue->message.find("->"), std::string::npos);
+}
+
+TEST(FlowValidation, RejectsTaskDownstreamOfCycleAsUnreachable) {
+  World w;
+  FlowSpec spec;
+  spec.tasks = {simple_task("loop", {"loop"}),
+                simple_task("downstream", {"loop"})};
+  w.flows.register_flow("f", noop_flow(), FlowOptions{}, spec);
+  auto issues = w.flows.validate("f");
+  ASSERT_NE(find_issue(issues, "dependency-cycle"), nullptr);
+  const auto* issue = find_issue(issues, "unreachable-task");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->task, "downstream");
+  EXPECT_NE(issue->message.find("downstream"), std::string::npos);
+}
+
+TEST(FlowValidation, RejectsExternalFacilityTaskWithoutRetryPolicy) {
+  World w;
+  FlowSpec spec;
+  TaskSpec move = simple_task("globus_move");
+  move.uses_transfer = true;
+  move.max_retries = 0;
+  TaskSpec job = simple_task("slurm_job", {"globus_move"});
+  job.uses_hpc = true;
+  job.max_retries = -1;
+  spec.tasks = {move, job};
+  w.flows.register_flow("f", noop_flow(), FlowOptions{}, spec);
+  auto issues = w.flows.validate("f");
+  std::size_t n = 0;
+  for (const auto& i : issues) {
+    if (i.rule == "missing-retry-policy") {
+      ++n;
+      EXPECT_TRUE(i.task == "globus_move" || i.task == "slurm_job");
+      EXPECT_NE(i.message.find(i.task), std::string::npos);
+    }
+  }
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(FlowValidation, RejectsMissingIdempotencyKeyOnRetryingFlow) {
+  World w;
+  FlowSpec spec;
+  TaskSpec stage = simple_task("stage");
+  stage.idempotency_key.clear();  // retried flow would re-run this task
+  spec.tasks = {stage};
+  FlowOptions options;
+  options.max_retries = 2;
+  w.flows.register_flow("f", noop_flow(), options, spec);
+  auto issues = w.flows.validate("f");
+  const auto* issue = find_issue(issues, "missing-idempotency-key");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_EQ(issue->task, "stage");
+  EXPECT_NE(issue->message.find("stage"), std::string::npos);
+
+  // The same graph without flow-level retries is fine: nothing re-executes.
+  w.flows.register_flow("g", noop_flow(), FlowOptions{}, spec);
+  EXPECT_TRUE(w.flows.validate("g").empty());
+}
+
+TEST(FlowValidation, RejectsUndeclaredWorkPool) {
+  World w;
+  FlowSpec spec;
+  spec.tasks = {simple_task("stage")};
+  FlowOptions options;
+  options.work_pool = "mystery-pool";
+  w.flows.register_flow("f", noop_flow(), options, spec);
+  auto issues = w.flows.validate("f");
+  const auto* issue = find_issue(issues, "undeclared-pool");
+  ASSERT_NE(issue, nullptr);
+  EXPECT_NE(issue->message.find("mystery-pool"), std::string::npos);
+
+  // Declaring the pool clears the issue.
+  w.flows.set_pool_limit("mystery-pool", 4);
+  EXPECT_TRUE(w.flows.validate("f").empty());
+}
+
+TEST(FlowValidation, InvalidFlowFailsBeforeAnyTaskExecutes) {
+  World w;
+  bool executed = false;
+  FlowSpec spec;
+  spec.tasks = {simple_task("ingest", {"phantom_task"})};
+  FlowFn body = [&](FlowContext) -> sim::Future<Status> {
+    executed = true;
+    co_return Status::success();
+  };
+  w.flows.register_flow("bad", body, FlowOptions{}, spec);
+  auto fut = w.flows.run_flow("bad");
+  w.eng.run();
+  EXPECT_FALSE(executed);
+  EXPECT_EQ(fut.value().state, RunState::Failed);
+  EXPECT_EQ(fut.value().status.error().code, "flow_validation_failed");
+  // The diagnostic carried by the status names the offending task.
+  EXPECT_NE(fut.value().status.error().message.find("ingest"),
+            std::string::npos);
+
+  // Re-registering with a sound graph makes the same name runnable.
+  FlowSpec fixed;
+  fixed.tasks = {simple_task("ingest")};
+  w.flows.register_flow("bad", body, FlowOptions{}, fixed);
+  auto fut2 = w.flows.run_flow("bad");
+  w.eng.run();
+  EXPECT_TRUE(executed);
+  EXPECT_EQ(fut2.value().state, RunState::Completed);
+}
+
+TEST(FlowValidation, ValidateUnknownFlowReportsIt) {
+  World w;
+  auto issues = w.flows.validate("nope");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues.front().rule, "unknown-flow");
+  EXPECT_NE(issues.front().render().find("nope"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace alsflow::flow

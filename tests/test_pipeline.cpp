@@ -381,6 +381,40 @@ TEST(Campaign, KindMixMatchesProduction) {
   EXPECT_NEAR(large / 2000.0, 0.02, 0.015);
 }
 
+TEST(Facility, ShippedFlowsValidateClean) {
+  // Every production flow ships with a FlowSpec, and the whole set must
+  // pass static validation: no cycles, no unreachable tasks, retry
+  // policies on every transfer/HPC task, idempotency keys everywhere a
+  // retried flow needs them, and only declared work pools.
+  Facility facility;
+  const auto issues = facility.flows().validate();
+  for (const auto& iss : issues) {
+    ADD_FAILURE() << iss.render();
+  }
+  EXPECT_TRUE(issues.empty());
+
+  // Validation is per-flow addressable too; spot-check the headline flows.
+  for (const char* flow :
+       {"new_file_832", "nersc_recon_flow", "alcf_recon_flow",
+        "hpss_archive_flow", "prune_beamline", "prune_cfs", "prune_eagle"}) {
+    EXPECT_TRUE(facility.flows().validate(flow).empty()) << flow;
+  }
+}
+
+TEST(Facility, TaskIdempotencyKeysAreScanScoped) {
+  // A retried flow must skip completed tasks for *its* scan without
+  // colliding with other scans: keys embed flow, task and scan id.
+  Facility facility;
+  ScanOptions options;
+  options.run_alcf = false;
+  options.archive = false;
+  auto fut = facility.process_scan(paper_scan("scan-keyed"), options);
+  facility.engine().run();
+  ASSERT_TRUE(fut.value().new_file_status.ok());
+  // One successful pass populates the cache with scan-scoped keys.
+  EXPECT_GT(facility.flows().idempotency_cache_size(), 0u);
+}
+
 TEST(Personas, DefaultArchetypesPresent) {
   auto personas = default_personas();
   ASSERT_EQ(personas.size(), 3u);

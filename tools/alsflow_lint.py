@@ -27,9 +27,12 @@ trailing  // lint:allow <rule>  comment plus a reason.
 
 Exit status: 0 clean, 1 findings, 2 usage error. --selftest checks the
 rules against embedded bad snippets (so the lint itself is testable).
+--format selects text (default), json, or github (GitHub Actions
+::error annotations, so findings surface inline on the PR diff).
 """
 
 import argparse
+import json
 import re
 import sys
 from pathlib import Path
@@ -156,18 +159,30 @@ def strip_comments(text):
 
 
 class Finding:
-    def __init__(self, path, line_no, rule, message, line_text):
+    def __init__(self, path, line_no, rule, message, line_text, rel=""):
         self.path = path
         self.line_no = line_no
         self.rule = rule
         self.message = message
         self.line_text = line_text
+        self.rel = rel  # repo-relative path ("src/...") for annotations
 
     def render(self):
         loc = f"{self.path}:{self.line_no}" if self.line_no else str(self.path)
         return (f"{loc}: [{self.rule}] {self.message}\n"
                 f"  > {self.line_text.strip()}" if self.line_text
                 else f"{loc}: [{self.rule}] {self.message}")
+
+    def render_github(self):
+        """One GitHub Actions problem-matcher annotation per finding."""
+        msg = self.message.replace("%", "%25").replace("\n", "%0A")
+        line = max(self.line_no, 1)
+        return (f"::error file={self.rel},line={line},"
+                f"title=alsflow_lint {self.rule}::{msg}")
+
+    def as_dict(self):
+        return {"file": self.rel, "line": self.line_no, "rule": self.rule,
+                "message": self.message}
 
 
 def lint_file(path, rel, findings):
@@ -198,7 +213,7 @@ def lint_file(path, rel, findings):
                     break  # one finding per line per rule
 
 
-def run(root):
+def run(root, fmt="text"):
     src = root / "src"
     if not src.is_dir():
         print(f"alsflow_lint: no src/ under {root}", file=sys.stderr)
@@ -207,11 +222,19 @@ def run(root):
     for path in sorted(src.rglob("*")):
         if path.suffix not in (".hpp", ".cpp"):
             continue
-        lint_file(path, path.relative_to(src).as_posix(), findings)
-    for f in findings:
-        print(f.render())
+        rel = path.relative_to(src).as_posix()
+        before = len(findings)
+        lint_file(path, rel, findings)
+        for f in findings[before:]:
+            f.rel = f"src/{rel}"
     n_files = sum(1 for _ in src.rglob("*.cpp")) + \
         sum(1 for _ in src.rglob("*.hpp"))
+    if fmt == "json":
+        print(json.dumps({"findings": [f.as_dict() for f in findings],
+                          "files_scanned": n_files}, indent=2))
+        return 1 if findings else 0
+    for f in findings:
+        print(f.render_github() if fmt == "github" else f.render())
     if findings:
         print(f"\nalsflow_lint: {len(findings)} finding(s) in {n_files} files")
         return 1
@@ -281,10 +304,14 @@ def main():
                     help="repository root (contains src/)")
     ap.add_argument("--selftest", action="store_true",
                     help="check the rules against embedded snippets")
+    ap.add_argument("--format", choices=("text", "json", "github"),
+                    default="text",
+                    help="finding output: human text, machine json, or "
+                         "GitHub Actions ::error annotations")
     args = ap.parse_args()
     if args.selftest:
         return selftest()
-    return run(args.root.resolve())
+    return run(args.root.resolve(), args.format)
 
 
 if __name__ == "__main__":
