@@ -5,33 +5,61 @@ namespace alsflow::access {
 void TiledService::register_volume(
     const std::string& key,
     std::shared_ptr<const data::MultiscaleVolume> volume) {
+  LockGuard lock(mu_);
   volumes_[key] = std::move(volume);
 }
 
+bool TiledService::has(const std::string& key) const {
+  LockGuard lock(mu_);
+  return volumes_.count(key) > 0;
+}
+
 std::vector<std::string> TiledService::keys() const {
+  LockGuard lock(mu_);
   std::vector<std::string> out;
   out.reserve(volumes_.size());
   for (const auto& [k, v] : volumes_) out.push_back(k);
   return out;
 }
 
+std::shared_ptr<const data::MultiscaleVolume> TiledService::volume_locked(
+    const std::string& key) const {
+  auto it = volumes_.find(key);
+  return it == volumes_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const data::MultiscaleVolume> TiledService::volume(
+    const std::string& key) const {
+  LockGuard lock(mu_);
+  return volume_locked(key);
+}
+
 Result<tomo::Image> TiledService::slice(const std::string& key,
                                         std::size_t level, int axis,
                                         std::size_t index) {
-  auto it = volumes_.find(key);
-  if (it == volumes_.end()) return Error::make("not_found", key);
-  ++requests_;
-  auto img = it->second->slice(level, axis, index);
-  if (img.ok()) bytes_served_ += Bytes(img.value().size()) * 4;
+  std::shared_ptr<const data::MultiscaleVolume> vol;
+  {
+    LockGuard lock(mu_);
+    vol = volume_locked(key);
+    if (!vol) return Error::make("not_found", key);
+    ++requests_;
+  }
+  // Render outside the lock; the volume is immutable.
+  auto img = vol->slice(level, axis, index);
+  if (img.ok()) {
+    // Charge what the render actually materialized (== slice_bytes, the
+    // same unit the serving cache accounts in).
+    LockGuard lock(mu_);
+    bytes_served_ += vol->slice_bytes(level, axis);
+  }
   return img;
 }
 
 Result<tomo::Image> TiledService::preview(const std::string& key, int axis) {
-  auto it = volumes_.find(key);
-  if (it == volumes_.end()) return Error::make("not_found", key);
-  const auto& ms = *it->second;
-  const std::size_t level = ms.n_levels() - 1;
-  const auto& coarse = ms.level(level);
+  auto vol = volume(key);
+  if (!vol) return Error::make("not_found", key);
+  const std::size_t level = vol->n_levels() - 1;
+  const auto& coarse = vol->level(level);
   const std::size_t mid =
       axis == 0 ? coarse.nz() / 2 : (axis == 1 ? coarse.ny() / 2 : coarse.nx() / 2);
   return slice(key, level, axis, mid);

@@ -4,6 +4,12 @@
 // slices at a resolution level (itk-vtk-viewer streams coarse levels
 // first) and the service accounts the bytes it ships. Volumes are
 // registered by key (usually the SciCat PID or scan id).
+//
+// Thread-safe: the serving front end (serve::Frontend) calls slice() from
+// many pool workers concurrently, so the registry and the served-bytes /
+// request counters are guarded by an annotated Mutex (§11 conventions).
+// Renders run outside the lock — only the registry lookup and the counter
+// updates are serialized.
 #pragma once
 
 #include <map>
@@ -11,6 +17,7 @@
 #include <string>
 
 #include "common/result.hpp"
+#include "common/thread_safety.hpp"
 #include "data/multiscale.hpp"
 
 namespace alsflow::access {
@@ -18,25 +25,42 @@ namespace alsflow::access {
 class TiledService {
  public:
   void register_volume(const std::string& key,
-                       std::shared_ptr<const data::MultiscaleVolume> volume);
-  bool has(const std::string& key) const { return volumes_.count(key) > 0; }
-  std::vector<std::string> keys() const;
+                       std::shared_ptr<const data::MultiscaleVolume> volume)
+      ALSFLOW_EXCLUDES(mu_);
+  bool has(const std::string& key) const ALSFLOW_EXCLUDES(mu_);
+  std::vector<std::string> keys() const ALSFLOW_EXCLUDES(mu_);
+
+  // The registered volume (nullptr when absent). Volumes are immutable
+  // once registered, so the returned pointer is safe to use lock-free.
+  std::shared_ptr<const data::MultiscaleVolume> volume(
+      const std::string& key) const ALSFLOW_EXCLUDES(mu_);
 
   // Slice request: axis 0 = z, 1 = y, 2 = x, at pyramid `level`.
   Result<tomo::Image> slice(const std::string& key, std::size_t level,
-                            int axis, std::size_t index);
+                            int axis, std::size_t index) ALSFLOW_EXCLUDES(mu_);
 
   // Coarsest available level for a progressive first paint.
-  Result<tomo::Image> preview(const std::string& key, int axis = 0);
+  Result<tomo::Image> preview(const std::string& key, int axis = 0)
+      ALSFLOW_EXCLUDES(mu_);
 
-  Bytes bytes_served() const { return bytes_served_; }
-  std::size_t requests() const { return requests_; }
+  Bytes bytes_served() const ALSFLOW_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
+    return bytes_served_;
+  }
+  std::size_t requests() const ALSFLOW_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
+    return requests_;
+  }
 
  private:
+  std::shared_ptr<const data::MultiscaleVolume> volume_locked(
+      const std::string& key) const ALSFLOW_REQUIRES(mu_);
+
+  mutable Mutex mu_;
   std::map<std::string, std::shared_ptr<const data::MultiscaleVolume>>
-      volumes_;
-  Bytes bytes_served_ = 0;
-  std::size_t requests_ = 0;
+      volumes_ ALSFLOW_GUARDED_BY(mu_);
+  Bytes bytes_served_ ALSFLOW_GUARDED_BY(mu_) = 0;
+  std::size_t requests_ ALSFLOW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace alsflow::access

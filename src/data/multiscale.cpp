@@ -121,4 +121,24 @@ Bytes MultiscaleVolume::total_bytes() const {
   return total;
 }
 
+Bytes MultiscaleVolume::chunk_bytes(std::size_t level) const {
+  if (level >= levels_.size()) return 0;
+  return Bytes(chunk_) * chunk_ * chunk_ * sizeof(float);
+}
+
+Bytes MultiscaleVolume::slice_bytes(std::size_t level, int axis) const {
+  if (level >= levels_.size()) return 0;
+  const auto& v = levels_[level];
+  switch (axis) {
+    case 0:
+      return Bytes(v.ny()) * v.nx() * sizeof(float);
+    case 1:
+      return Bytes(v.nz()) * v.nx() * sizeof(float);
+    case 2:
+      return Bytes(v.nz()) * v.ny() * sizeof(float);
+    default:
+      return 0;
+  }
+}
+
 }  // namespace alsflow::data

@@ -46,6 +46,18 @@ class MultiscaleVolume {
   // paper's reconstruction products, at our scale).
   Bytes total_bytes() const;
 
+  // Bytes one materialized chunk occupies at `level`: chunks are cubic and
+  // zero-padded at volume edges, so every copy is chunk_edge()^3 float32
+  // regardless of position. 0 for an invalid level. This is the unit a
+  // chunk cache must account per entry to match what chunk() allocates.
+  Bytes chunk_bytes(std::size_t level) const;
+
+  // Bytes slice(level, axis, ·) materializes (the served image's float32
+  // footprint). 0 for an invalid level or axis. TiledService charges this
+  // per request, so cache accounting and bytes_served() agree by
+  // construction.
+  Bytes slice_bytes(std::size_t level, int axis) const;
+
  private:
   std::size_t chunk_ = 32;
   std::vector<tomo::Volume> levels_;

@@ -18,6 +18,7 @@ struct PoolMetrics {
   telemetry::Counter& chunks;        // chunk bodies executed (any thread)
   telemetry::Counter& steals;        // chunks executed by pool workers
   telemetry::Counter& help_drains;   // chunks the submitting caller drained
+  telemetry::Counter& posts;         // detached tasks executed
 };
 
 PoolMetrics& pool_metrics() {
@@ -27,6 +28,7 @@ PoolMetrics& pool_metrics() {
       m.counter("alsflow_pool_chunks_total"),
       m.counter("alsflow_pool_steals_total"),
       m.counter("alsflow_pool_help_drains_total"),
+      m.counter("alsflow_pool_posts_total"),
   };
   return metrics;
 }
@@ -50,13 +52,32 @@ ThreadPool::~ThreadPool() {
   }
   cv_work_.notify_all();
   for (auto& w : workers_) w.join();
+  // Workers drain the queue before exiting, so anything left here means
+  // the pool never had workers (or a post raced teardown, which is a
+  // contract violation). Run — don't drop — detached tasks so posters
+  // waiting on their completion cannot hang; batch tasks cannot be left
+  // (their submitter help-drains and blocks inside run_chunks).
+  std::vector<Task> leftover;
+  {
+    LockGuard lock(mutex_);
+    leftover.swap(queue_);
+  }
+  for (const auto& task : leftover) {
+    if (task.detached != nullptr) run_task(task);
+  }
 }
 
-// Execute a task and credit its batch. The decrement happens under the
-// batch mutex so that the owning caller, which re-checks `remaining` under
-// the same mutex, cannot race past the wait and destroy the Batch while we
-// still touch it (see Batch comment in the header).
+// Execute a task: a detached post (owned closure, freed here) or a batch
+// chunk. For chunks the decrement happens under the batch mutex so that
+// the owning caller, which re-checks `remaining` under the same mutex,
+// cannot race past the wait and destroy the Batch while we still touch it
+// (see Batch comment in the header).
 void ThreadPool::run_task(const Task& task) {
+  if (task.detached != nullptr) {
+    (*task.detached)();
+    delete task.detached;
+    return;
+  }
   (*task.body)(task.chunk_begin, task.chunk_end);
   LockGuard lock(task.batch->m);
   if (--task.batch->remaining == 0) task.batch->cv.notify_all();
@@ -77,11 +98,32 @@ void ThreadPool::worker_loop() {
     }
     if (telemetry::global().enabled()) {
       auto& pm = pool_metrics();
-      pm.chunks.add();
-      pm.steals.add();
+      if (task.detached != nullptr) {
+        pm.posts.add();
+      } else {
+        pm.chunks.add();
+        pm.steals.add();
+      }
     }
     run_task(task);
   }
+}
+
+void ThreadPool::post(std::function<void()> fn) {
+  if (workers_.empty()) {
+    // Serial pool: no worker will ever pop the queue, so run inline.
+    if (telemetry::global().enabled()) pool_metrics().posts.add();
+    fn();
+    return;
+  }
+  auto* owned = new std::function<void()>(std::move(fn));
+  {
+    LockGuard lock(mutex_);
+    Task task;
+    task.detached = owned;
+    queue_.push_back(task);
+  }
+  cv_work_.notify_one();
 }
 
 void ThreadPool::run_chunks(

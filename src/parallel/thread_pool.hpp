@@ -49,6 +49,19 @@ class ThreadPool {
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t)>& body);
 
+  // Detached one-shot task: `fn` runs once on a pool worker and is then
+  // discarded. Unlike parallel_for, post() never blocks the caller — this
+  // is what the serving front end (src/serve) uses to pump its request
+  // queues. Detached tasks share the worker queue with parallel_for
+  // chunks; a caller's help-drain never executes them (it drains only its
+  // own batch), so posting cannot couple a kernel's latency to serving
+  // work. On a pool with no workers (size() == 1) the task runs inline,
+  // degenerating to synchronous execution. Tasks still queued at pool
+  // destruction are executed (not dropped) on the destroying thread, so a
+  // poster that waits for its tasks to finish cannot hang — but posting
+  // *during* destruction is a contract violation.
+  void post(std::function<void()> fn) ALSFLOW_EXCLUDES(mutex_);
+
   // Process-wide shared pool. Thread count honours ALSFLOW_NUM_THREADS
   // when set (benchmarking / pinning), else hardware concurrency.
   static ThreadPool& global();
@@ -66,11 +79,15 @@ class ThreadPool {
     std::size_t remaining ALSFLOW_GUARDED_BY(m) = 0;
   };
 
+  // Either a chunk of a parallel_for batch (body/batch set, detached null)
+  // or a detached post() task (detached owned by the queue entry, deleted
+  // after the run; body/batch null).
   struct Task {
-    const std::function<void(std::size_t, std::size_t)>* body;
-    std::size_t chunk_begin;
-    std::size_t chunk_end;
-    Batch* batch;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t chunk_begin = 0;
+    std::size_t chunk_end = 0;
+    Batch* batch = nullptr;
+    std::function<void()>* detached = nullptr;
   };
 
   void worker_loop() ALSFLOW_EXCLUDES(mutex_);

@@ -159,6 +159,23 @@ void Facility::register_flows() {
       [this](flow::FlowContext ctx) { return hpss_archive_flow(ctx); },
       archive_opts, archive_spec);
 
+  // Access-layer publication: one validated task that ingests the derived
+  // product into SciCat and registers it with the Tiled service. The flow
+  // retries, so the task carries an idempotency key (validation enforces
+  // this pairing).
+  flow::FlowOptions publish_opts;
+  publish_opts.max_retries = 1;
+  publish_opts.retry_delay = 5.0;
+  publish_opts.work_pool = "default";
+  flow::FlowSpec publish_spec;
+  publish_spec.tasks = {
+      task_spec("publish_volume", "publish_volume", {}, false, false),
+  };
+  flows_.register_flow(
+      "publish_volume",
+      [this](flow::FlowContext ctx) { return publish_volume_flow(ctx); },
+      publish_opts, publish_spec);
+
   // Pruning flows run no tracked tasks; an empty spec still pins the
   // work-pool declaration check.
   flow::FlowOptions prune_opts;
@@ -414,6 +431,41 @@ sim::Future<Status> Facility::hpss_archive_flow(flow::FlowContext ctx) {
       };
   co_return co_await flows_.run_task(ctx, "archive_to_tape", archive_task,
                               keyed(ctx, "archive_to_tape"));
+}
+
+void Facility::stage_volume(
+    const std::string& key,
+    std::shared_ptr<const data::MultiscaleVolume> volume) {
+  staged_volumes_[key] = std::move(volume);
+}
+
+sim::Future<Status> Facility::publish_volume_flow(flow::FlowContext ctx) {
+  const std::string key = ctx.parameters;
+  std::function<sim::Future<Status>()> publish_task =
+      [this, key]() -> sim::Future<Status> {
+        auto it = staged_volumes_.find(key);
+        if (it == staged_volumes_.end()) {
+          co_return Error::make("not_found", "no staged volume for " + key);
+        }
+        auto volume = it->second;
+        // Catalogue the multiscale product, then expose it for serving.
+        // The derived record chains to the raw PID when the scan came
+        // through acquisition (library-level callers may stage directly).
+        co_await sim::delay(eng_, 1.0);
+        auto parent = raw_pids_.find(key);
+        scicat_.ingest(catalog::DatasetType::Derived,
+                       "/als/multiscale/" + key + ".zarr",
+                       beamline_data_.name(), eng_.now(),
+                       {{"scan_id", key},
+                        {"pipeline", "publish_volume"},
+                        {"levels", std::to_string(volume->n_levels())}},
+                       parent == raw_pids_.end() ? "" : parent->second);
+        tiled_.register_volume(key, volume);
+        staged_volumes_.erase(key);
+        co_return Status::success();
+      };
+  co_return co_await flows_.run_task(ctx, "publish_volume", publish_task,
+                              keyed(ctx, "publish_volume"));
 }
 
 sim::Future<Status> Facility::prune_endpoint_flow(

@@ -22,6 +22,7 @@
 #include <optional>
 #include <string>
 
+#include "access/tiled.hpp"
 #include "beamline/detector.hpp"
 #include "beamline/file_writer.hpp"
 #include "catalog/scicat.hpp"
@@ -107,6 +108,7 @@ class Facility {
   flow::FlowEngine& flows() { return flows_; }
   flow::RunDatabase& run_db() { return db_; }
   catalog::SciCatalog& scicat() { return scicat_; }
+  access::TiledService& tiled() { return tiled_; }
   beamline::Detector& detector() { return detector_; }
   StreamingService& streaming() { return streaming_; }
   hpc::WorkstationAdapter& workstation() { return workstation_; }
@@ -128,6 +130,15 @@ class Facility {
     return process_scan_impl(std::move(scan), options);
   }
 
+  // Stage a reconstructed multiscale volume for publication, then run the
+  // FlowSpec-validated "publish_volume" flow (parameters = key) to move it
+  // into the Tiled access service: catalogue ingest + registration happen
+  // through the orchestrated, validated path rather than by poking the
+  // service directly, so the serving front end only ever sees volumes that
+  // entered through the flow.
+  void stage_volume(const std::string& key,
+                    std::shared_ptr<const data::MultiscaleVolume> volume);
+
   // Fire-and-forget variant for campaign driving at production cadence.
   void submit_scan(data::ScanMetadata scan, ScanOptions options);
 
@@ -144,6 +155,7 @@ class Facility {
   sim::Future<Status> nersc_recon_flow(flow::FlowContext ctx);
   sim::Future<Status> alcf_recon_flow(flow::FlowContext ctx);
   sim::Future<Status> hpss_archive_flow(flow::FlowContext ctx);
+  sim::Future<Status> publish_volume_flow(flow::FlowContext ctx);
   // Pointer, not reference: the endpoint is a Facility member and the
   // coroutine frame outlives the call (astcheck coroutine-ref-param).
   sim::Future<Status> prune_endpoint_flow(storage::StorageEndpoint* ep);
@@ -186,6 +198,10 @@ class Facility {
   flow::RunDatabase db_;
   flow::FlowEngine flows_;
   catalog::SciCatalog scicat_;
+  access::TiledService tiled_;
+  // Volumes handed to stage_volume, awaiting the publish_volume flow.
+  std::map<std::string, std::shared_ptr<const data::MultiscaleVolume>>
+      staged_volumes_;
 
   // Acquisition.
   beamline::Detector detector_;

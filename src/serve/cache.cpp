@@ -1,0 +1,109 @@
+#include "serve/cache.hpp"
+
+#include <utility>
+
+namespace alsflow::serve {
+
+std::size_t SliceKeyHash::operator()(const SliceKey& k) const {
+  // FNV-1a over the string, then mix in the scalar fields.
+  std::size_t h = 1469598103934665603ull;
+  for (char c : k.volume) {
+    h ^= std::size_t(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(k.level);
+  mix(std::size_t(k.axis));
+  mix(k.index);
+  return h;
+}
+
+ChunkCache::ChunkCache(Bytes capacity_bytes) : capacity_(capacity_bytes) {}
+
+ChunkCache::Lookup ChunkCache::get_or_render(const SliceKey& key,
+                                             const RenderFn& render) {
+  std::shared_ptr<Flight> flight;
+  {
+    UniqueLock lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      return Lookup{it->second->image, true, false};
+    }
+    auto fit = inflight_.find(key);
+    if (fit != inflight_.end()) {
+      // Someone is already rendering this key: coalesce.
+      flight = fit->second;
+      ++stats_.coalesced;
+      lock.unlock();
+      UniqueLock fl(flight->m);
+      while (!flight->done) flight->cv.wait(fl.native());
+      if (flight->ok) return Lookup{flight->image, false, true};
+      return Lookup{flight->error, false, true};
+    }
+    // We are the leader for this key.
+    flight = std::make_shared<Flight>();
+    inflight_.emplace(key, flight);
+    ++stats_.misses;
+  }
+
+  Result<tomo::Image> rendered = render();
+  std::shared_ptr<const tomo::Image> image;
+  if (rendered.ok()) {
+    image = std::make_shared<const tomo::Image>(std::move(rendered.value()));
+  }
+  {
+    LockGuard lock(mu_);
+    inflight_.erase(key);
+    if (image) insert_locked(key, image);
+  }
+  {
+    LockGuard fl(flight->m);
+    flight->done = true;
+    flight->ok = bool(image);
+    if (image) {
+      flight->image = image;
+    } else {
+      flight->error = rendered.error();
+    }
+  }
+  flight->cv.notify_all();
+  if (image) return Lookup{std::move(image), false, false};
+  return Lookup{rendered.error(), false, false};
+}
+
+void ChunkCache::insert_locked(const SliceKey& key,
+                               std::shared_ptr<const tomo::Image> image) {
+  const Bytes bytes = Bytes(image->size()) * sizeof(float);
+  if (bytes > capacity_) return;  // serve it, never cache it
+  while (!lru_.empty() && stats_.bytes_cached + bytes > capacity_) {
+    const Entry& victim = lru_.back();
+    stats_.bytes_cached -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    --stats_.entries;
+  }
+  lru_.push_front(Entry{key, std::move(image), bytes});
+  index_[key] = lru_.begin();
+  stats_.bytes_cached += bytes;
+  ++stats_.entries;
+}
+
+ChunkCache::Stats ChunkCache::stats() const {
+  LockGuard lock(mu_);
+  return stats_;
+}
+
+void ChunkCache::clear() {
+  LockGuard lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.bytes_cached = 0;
+  stats_.entries = 0;
+}
+
+}  // namespace alsflow::serve

@@ -1,0 +1,120 @@
+// Byte-bounded LRU slice cache with singleflight coalescing.
+//
+// The serving front end (serve::Frontend) renders axis-aligned slices out
+// of multiscale volumes. Renders are pure functions of
+// (volume, level, axis, index), so the cache can hand every concurrent
+// requester the same immutable image: N viewers panning the same dataset
+// cost one render, not N. Two mechanisms:
+//
+//  * LRU over bytes — entries are shared_ptr<const tomo::Image>; the cache
+//    charges size()*sizeof(float) per entry and evicts least-recently-used
+//    entries until the configured byte budget holds. An entry larger than
+//    the whole budget is served but never cached.
+//
+//  * Singleflight — the first requester of an uncached key becomes the
+//    *leader* and renders outside the cache lock; requesters arriving
+//    while the render is in flight park on the flight's condvar and share
+//    the leader's result (success or typed error). This bounds render work
+//    under request storms: duplicate concurrent requests collapse to a
+//    single render (the "thundering herd" guard the access layer needs
+//    once many viewers stream the same fresh reconstruction).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.hpp"
+#include "common/thread_safety.hpp"
+#include "common/units.hpp"
+#include "tomo/image.hpp"
+
+namespace alsflow::serve {
+
+// Cache key: one slice of one registered volume.
+struct SliceKey {
+  std::string volume;
+  std::size_t level = 0;
+  int axis = 0;  // 0 = z, 1 = y, 2 = x (MultiscaleVolume convention)
+  std::size_t index = 0;
+
+  bool operator==(const SliceKey&) const = default;
+};
+
+struct SliceKeyHash {
+  std::size_t operator()(const SliceKey& k) const;
+};
+
+class ChunkCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;     // leader renders (one per flight)
+    std::uint64_t coalesced = 0;  // requests that joined an in-flight render
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+    Bytes bytes_cached = 0;
+  };
+
+  struct Lookup {
+    Result<std::shared_ptr<const tomo::Image>> image;
+    bool hit = false;
+    bool coalesced = false;
+  };
+
+  using RenderFn = std::function<Result<tomo::Image>()>;
+
+  explicit ChunkCache(Bytes capacity_bytes);
+
+  // Return the image for `key`, rendering via `render` at most once per
+  // key across all concurrent callers. The render runs outside the cache
+  // lock; errors propagate to every coalesced waiter but are never cached
+  // (a later request retries).
+  Lookup get_or_render(const SliceKey& key, const RenderFn& render)
+      ALSFLOW_EXCLUDES(mu_);
+
+  Bytes capacity() const { return capacity_; }
+  Stats stats() const ALSFLOW_EXCLUDES(mu_);
+
+  // Drop every cached entry (in-flight renders are unaffected; they insert
+  // afterwards). Counters are cumulative and survive the clear.
+  void clear() ALSFLOW_EXCLUDES(mu_);
+
+ private:
+  // One in-flight render; waiters park on cv until the leader publishes.
+  struct Flight {
+    Mutex m;
+    std::condition_variable cv;
+    bool done ALSFLOW_GUARDED_BY(m) = false;
+    bool ok ALSFLOW_GUARDED_BY(m) = false;
+    std::shared_ptr<const tomo::Image> image ALSFLOW_GUARDED_BY(m);
+    Error error ALSFLOW_GUARDED_BY(m);
+  };
+
+  struct Entry {
+    SliceKey key;
+    std::shared_ptr<const tomo::Image> image;
+    Bytes bytes = 0;
+  };
+
+  void insert_locked(const SliceKey& key,
+                     std::shared_ptr<const tomo::Image> image)
+      ALSFLOW_REQUIRES(mu_);
+
+  const Bytes capacity_;
+  mutable Mutex mu_;
+  // Front = most recently used.
+  std::list<Entry> lru_ ALSFLOW_GUARDED_BY(mu_);
+  std::unordered_map<SliceKey, std::list<Entry>::iterator, SliceKeyHash>
+      index_ ALSFLOW_GUARDED_BY(mu_);
+  std::unordered_map<SliceKey, std::shared_ptr<Flight>, SliceKeyHash>
+      inflight_ ALSFLOW_GUARDED_BY(mu_);
+  Stats stats_ ALSFLOW_GUARDED_BY(mu_);
+};
+
+}  // namespace alsflow::serve

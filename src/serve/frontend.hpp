@@ -1,0 +1,225 @@
+// Production-grade serving front end for the access layer.
+//
+// Frontend sits between many concurrent viewers and a TiledService: the
+// paper's §4.2.5 access story (itk-vtk-viewer streaming coarse pyramid
+// levels from Tiled) under real load, where latency budgets only hold if
+// queueing and data movement are managed explicitly. Four pieces:
+//
+//  * Scheduler — requests land in bounded per-tenant FIFO queues; drain
+//    workers posted on parallel::ThreadPool dequeue by weighted-fair
+//    stride scheduling (each tenant carries a virtual "pass" advanced by
+//    1/weight per served request; the lowest pass goes next), so one
+//    aggressive viewer cannot starve the rest.
+//
+//  * Admission control & shedding — a full queue sheds *oldest first*
+//    (the stale request a viewer has already given up on) and fails the
+//    shed ticket with a typed Error{"shed"}; alternatively reject-newest
+//    with Error{"overloaded"}. At dequeue, requests past their deadline or
+//    older than max_queue_wait are shed instead of rendered, so queue wait
+//    stays bounded under over-admission instead of growing without limit.
+//
+//  * Degradation — above a queue-depth watermark the frontend serves a
+//    configurable number of pyramid levels coarser than requested (the
+//    progressive-resolution trick viewers already understand), trading
+//    fidelity for latency under pressure.
+//
+//  * Cache — renders go through a singleflight ChunkCache, so duplicate
+//    concurrent requests cost one render and hot slices are served from
+//    memory.
+//
+// Telemetry (when telemetry::global() is enabled): queue-wait and render
+// histograms, hit/miss/coalesce/shed counters, per-tenant queue-depth
+// gauges, and a wall-domain span per leader render. The frontend also
+// keeps its own always-on counters (Stats) so tests and benches do not
+// depend on the telemetry switch.
+//
+// Time: the frontend never reads a clock directly (determinism lint);
+// FrontendConfig::clock defaults to telemetry::Telemetry::wall_now and
+// tests inject fake clocks for deterministic deadline behaviour.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "access/tiled.hpp"
+#include "common/result.hpp"
+#include "common/thread_safety.hpp"
+#include "common/units.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/cache.hpp"
+
+namespace alsflow::serve {
+
+struct FrontendConfig {
+  // Max drain workers concurrently posted on the thread pool.
+  std::size_t concurrency = 2;
+  // Bounded queues: per-tenant and global admission limits.
+  std::size_t per_tenant_queue = 64;
+  std::size_t max_queue = 256;
+  // Slice cache byte budget.
+  Bytes cache_bytes = 64 * MiB;
+  // Shed requests that waited longer than this before reaching a worker
+  // (<= 0 disables age-based shedding).
+  Seconds max_queue_wait = 2.0;
+  // When global queue depth exceeds watermark * max_queue, serve
+  // degrade_levels coarser than requested (0 disables degradation).
+  double degrade_watermark = 0.75;
+  std::size_t degrade_levels = 1;
+  // Full-queue policy: true = shed the oldest queued request and admit the
+  // arrival; false = reject the arrival with Error{"overloaded"}.
+  bool shed_oldest = true;
+  // Start with dequeueing paused (tests/benches build up a queue, then
+  // resume()); submissions are admitted either way.
+  bool start_paused = false;
+  // Time source (seconds, monotone). Defaults to the telemetry wall clock.
+  std::function<double()> clock;
+  // Thread pool to run on. Defaults to ThreadPool::global().
+  parallel::ThreadPool* pool = nullptr;
+};
+
+struct SliceRequest {
+  std::string tenant = "default";
+  std::string volume;
+  std::size_t level = 0;
+  int axis = 0;
+  std::size_t index = 0;
+  // Absolute deadline in clock() seconds; 0 = none. Requests past their
+  // deadline are rejected at submit or shed at dequeue.
+  double deadline = 0.0;
+};
+
+struct SliceResponse {
+  std::shared_ptr<const tomo::Image> image;
+  std::size_t level = 0;  // level actually served (> requested if degraded)
+  bool degraded = false;
+  bool cache_hit = false;
+  bool coalesced = false;
+  Seconds queue_wait = 0.0;
+  Seconds render_seconds = 0.0;
+  Bytes bytes = 0;
+  // Global dequeue order (1-based); exposes the fair-scheduling order to
+  // tests and benches.
+  std::uint64_t sequence = 0;
+};
+
+// Shared completion state between submitter and drain worker. Error codes:
+// "overloaded" (rejected at admission), "shed" (dropped from the queue),
+// "deadline_exceeded", "not_found" (unknown volume/level/index),
+// "unavailable" (frontend shutting down).
+class Ticket {
+ public:
+  // Block until the request completes (or is shed/rejected).
+  Result<SliceResponse> wait() ALSFLOW_EXCLUDES(m_);
+  bool done() const ALSFLOW_EXCLUDES(m_);
+
+ private:
+  friend class Frontend;
+  void fulfill(Result<SliceResponse> r) ALSFLOW_EXCLUDES(m_);
+
+  mutable Mutex m_;
+  std::condition_variable cv_;
+  std::optional<Result<SliceResponse>> result_ ALSFLOW_GUARDED_BY(m_);
+};
+
+class Frontend {
+ public:
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t served = 0;
+    std::uint64_t rejected = 0;       // refused at admission
+    std::uint64_t shed = 0;           // failed after queueing
+    std::uint64_t deadline_shed = 0;  // subset of shed: missed deadline
+    std::uint64_t degraded = 0;
+    std::uint64_t errors = 0;         // render failures (e.g. not_found)
+    std::size_t queue_depth = 0;
+    std::size_t max_queue_depth = 0;
+  };
+
+  // `tiled` must outlive the frontend; so must the configured pool.
+  explicit Frontend(access::TiledService& tiled, FrontendConfig config = {});
+  ~Frontend();
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  // Relative service share under contention (default 1.0). May be called
+  // any time; affects subsequent dequeues.
+  void set_tenant_weight(const std::string& tenant, double weight)
+      ALSFLOW_EXCLUDES(mu_);
+
+  // Admission-controlled asynchronous submit; never blocks on rendering.
+  // The returned ticket is fulfilled by a drain worker (or immediately on
+  // rejection).
+  std::shared_ptr<Ticket> submit(SliceRequest req) ALSFLOW_EXCLUDES(mu_);
+
+  // Synchronous convenience: submit + wait.
+  Result<SliceResponse> get(SliceRequest req);
+
+  // Start dequeueing after start_paused (no-op when already running).
+  void resume() ALSFLOW_EXCLUDES(mu_);
+
+  // Block until every queued request is fulfilled and all workers idle.
+  void drain() ALSFLOW_EXCLUDES(mu_);
+
+  Stats stats() const ALSFLOW_EXCLUDES(mu_);
+  ChunkCache::Stats cache_stats() const { return cache_.stats(); }
+  const FrontendConfig& config() const { return config_; }
+
+ private:
+  struct Queued {
+    SliceRequest req;
+    std::shared_ptr<Ticket> ticket;
+    double enqueued_at = 0.0;
+  };
+
+  struct Tenant {
+    std::deque<Queued> q;
+    double pass = 0.0;    // stride-scheduling virtual time
+    double weight = 1.0;
+  };
+
+  void worker_loop() ALSFLOW_EXCLUDES(mu_);
+  // Reserve drain-worker slots (up to the concurrency limit) while work is
+  // queued; the caller posts the reserved slots onto the pool *outside*
+  // mu_ (post() may run the worker inline on a serial pool, and the worker
+  // immediately takes mu_).
+  void spawn_workers_locked() ALSFLOW_REQUIRES(mu_);
+  // Pick the non-empty tenant with the lowest pass (ties: map order).
+  Tenant* next_tenant_locked() ALSFLOW_REQUIRES(mu_);
+  // Shed the oldest queued request across all tenants; returns its ticket
+  // (null when every queue is empty).
+  std::shared_ptr<Ticket> shed_oldest_locked() ALSFLOW_REQUIRES(mu_);
+  void render_and_fulfill(Queued item, double dequeued_at, bool degraded,
+                          std::uint64_t sequence) ALSFLOW_EXCLUDES(mu_);
+
+  access::TiledService& tiled_;
+  const FrontendConfig config_;
+  parallel::ThreadPool& pool_;
+  ChunkCache cache_;
+
+  mutable Mutex mu_;
+  std::condition_variable idle_cv_;  // drain() / ~Frontend wake-up
+  std::map<std::string, Tenant> tenants_ ALSFLOW_GUARDED_BY(mu_);
+  std::size_t queued_total_ ALSFLOW_GUARDED_BY(mu_) = 0;
+  // Posted (or about to be posted) drain workers. Includes reserved slots
+  // not yet handed to the pool; spawn_pending_ counts exactly those.
+  std::size_t active_workers_ ALSFLOW_GUARDED_BY(mu_) = 0;
+  std::size_t spawn_pending_ ALSFLOW_GUARDED_BY(mu_) = 0;
+  bool paused_ ALSFLOW_GUARDED_BY(mu_) = false;
+  bool stopping_ ALSFLOW_GUARDED_BY(mu_) = false;
+  // Virtual time of the most recent dequeue; idle tenants rejoin at this
+  // pass so they cannot bank credit while away.
+  double vtime_ ALSFLOW_GUARDED_BY(mu_) = 0.0;
+  std::uint64_t sequence_ ALSFLOW_GUARDED_BY(mu_) = 0;
+  Stats stats_ ALSFLOW_GUARDED_BY(mu_);
+};
+
+}  // namespace alsflow::serve

@@ -285,5 +285,31 @@ TEST(Multiscale, TotalBytesSumsLevels) {
   EXPECT_EQ(ms.total_bytes(), Bytes(8 * 8 * 8 + 4 * 4 * 4) * 4);
 }
 
+TEST(Multiscale, ByteHelpersMatchMaterializedSizes) {
+  tomo::Volume v(16, 12, 8);
+  auto ms = MultiscaleVolume::build(v, 2, 4);
+
+  // chunk_bytes reports the padded chunk footprint actually materialized.
+  auto chunk = ms.chunk(0, {0, 0, 0});
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(ms.chunk_bytes(0), Bytes(chunk.value().size()) * sizeof(float));
+
+  // slice_bytes agrees with the rendered image on every axis and level.
+  for (std::size_t level = 0; level < ms.n_levels(); ++level) {
+    for (int axis = 0; axis < 3; ++axis) {
+      auto img = ms.slice(level, axis, 0);
+      ASSERT_TRUE(img.ok()) << level << "/" << axis;
+      EXPECT_EQ(ms.slice_bytes(level, axis),
+                Bytes(img.value().size()) * sizeof(float))
+          << level << "/" << axis;
+    }
+  }
+
+  // Out-of-range queries report zero rather than asserting.
+  EXPECT_EQ(ms.chunk_bytes(9), 0u);
+  EXPECT_EQ(ms.slice_bytes(9, 0), 0u);
+  EXPECT_EQ(ms.slice_bytes(0, 7), 0u);
+}
+
 }  // namespace
 }  // namespace alsflow::data

@@ -204,5 +204,47 @@ TEST(ThreadPool, OverlappingLatencyNotCoupled) {
   slow.join();
 }
 
+TEST(ThreadPool, PostRunsDetachedTasks) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 64;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.post([&done] { done.fetch_add(1); });
+  }
+  while (done.load() < kTasks) std::this_thread::yield();
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPool, PostOnSingleThreadPoolRunsInline) {
+  ThreadPool pool(1);  // zero workers: post must execute in the caller
+  bool ran = false;
+  pool.post([&ran] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, PostInterleavesWithParallelFor) {
+  ThreadPool pool(4);
+  std::atomic<int> posted{0};
+  std::atomic<int> visited{0};
+  for (int i = 0; i < 16; ++i) pool.post([&posted] { posted.fetch_add(1); });
+  pool.parallel_for(0, 1000, [&](std::size_t) { visited.fetch_add(1); });
+  EXPECT_EQ(visited.load(), 1000);
+  while (posted.load() < 16) std::this_thread::yield();
+  EXPECT_EQ(posted.load(), 16);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingPosts) {
+  // Tasks still queued at teardown run (exactly once) before join returns.
+  std::atomic<int> done{0};
+  constexpr int kTasks = 128;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.post([&done] { done.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
 }  // namespace
 }  // namespace alsflow::parallel

@@ -1,8 +1,10 @@
 // Integration tests: the full multi-facility world, end to end.
 #include <gtest/gtest.h>
 
+#include "data/multiscale.hpp"
 #include "pipeline/campaign.hpp"
 #include "pipeline/facility.hpp"
+#include "tomo/phantom.hpp"
 
 namespace alsflow::pipeline {
 namespace {
@@ -399,6 +401,33 @@ TEST(Facility, ShippedFlowsValidateClean) {
         "hpss_archive_flow", "prune_beamline", "prune_cfs", "prune_eagle"}) {
     EXPECT_TRUE(facility.flows().validate(flow).empty()) << flow;
   }
+}
+
+TEST(Facility, PublishVolumeFlowRegistersForServing) {
+  // Volumes reach the Tiled serving layer only through the validated
+  // publish_volume flow: catalogue ingest + registration in one task.
+  Facility facility;
+  EXPECT_TRUE(facility.flows().validate("publish_volume").empty());
+
+  auto volume = std::make_shared<const data::MultiscaleVolume>(
+      data::MultiscaleVolume::build(tomo::shepp_logan_3d(16), 2, 8));
+  facility.stage_volume("scan-pub", volume);
+  EXPECT_FALSE(facility.tiled().has("scan-pub"));
+
+  const std::size_t catalog_before = facility.scicat().size();
+  auto fut = facility.flows().run_flow("publish_volume", "scan-pub");
+  facility.engine().run();
+  ASSERT_TRUE(fut.done());
+  EXPECT_EQ(fut.value().state, flow::RunState::Completed);
+  EXPECT_TRUE(facility.tiled().has("scan-pub"));
+  EXPECT_EQ(facility.scicat().size(), catalog_before + 1);
+  // Published volumes are servable immediately.
+  EXPECT_TRUE(facility.tiled().slice("scan-pub", 0, 0, 8).ok());
+
+  // Publishing a key that was never staged fails the flow.
+  auto missing = facility.flows().run_flow("publish_volume", "missing");
+  facility.engine().run();
+  EXPECT_EQ(missing.value().state, flow::RunState::Failed);
 }
 
 TEST(Facility, TaskIdempotencyKeysAreScanScoped) {
