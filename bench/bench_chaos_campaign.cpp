@@ -1,0 +1,236 @@
+// Chaos campaign benchmark: latency inflation under injected faults.
+//
+// Runs the same fixed campaign (N scans at production cadence) once
+// fault-free and once per golden chaos scenario, and reports per scenario:
+//   - makespan inflation (campaign finish vs the fault-free baseline)
+//   - mean and p95 per-scan latency inflation
+//   - scans completed (must always equal the offered count — chaos may
+//     slow the campaign, never lose work)
+//
+// Everything runs on the simulation clock with seeded randomness, so the
+// numbers are exactly reproducible. Results land in
+// BENCH_chaos_campaign.json for machine consumption.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_engine.hpp"
+#include "chaos/scenario.hpp"
+#include "pipeline/facility.hpp"
+
+using namespace alsflow;
+using chaos::FaultEvent;
+using chaos::FaultKind;
+using chaos::Scenario;
+
+namespace {
+
+constexpr int kScans = 8;
+constexpr Seconds kInterval = 180.0;  // 20 scans/hour, paper cadence
+
+data::ScanMetadata make_scan(std::size_t index) {
+  data::ScanMetadata m;
+  char id[32];
+  std::snprintf(id, sizeof id, "scan-%03zu", index);
+  m.scan_id = id;
+  m.sample_name = "chaos-bench";
+  m.proposal = "ALS-11532";
+  m.user = "visiting-user";
+  m.rows = 512;
+  m.cols = 2560;
+  m.n_angles = 500;
+  m.bit_depth = 16;
+  m.exposure_s = 0.05;
+  m.energy_kev = 25.0;
+  m.pixel_um = 0.65;
+  return m;
+}
+
+struct CampaignResult {
+  std::size_t completed = 0;
+  Seconds makespan = 0.0;
+  std::vector<double> scan_latencies;  // finished_at - submit time
+
+  double mean_latency() const {
+    if (scan_latencies.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : scan_latencies) s += x;
+    return s / double(scan_latencies.size());
+  }
+  double p95_latency() const {
+    if (scan_latencies.empty()) return 0.0;
+    std::vector<double> xs = scan_latencies;
+    std::sort(xs.begin(), xs.end());
+    return xs[std::size_t(0.95 * double(xs.size() - 1))];
+  }
+};
+
+CampaignResult run_campaign(const Scenario* scenario) {
+  pipeline::FacilityConfig cfg;
+  cfg.seed = 42;
+  cfg.background_utilization = 0.0;
+  pipeline::Facility fac(cfg);
+
+  chaos::ChaosEngine chaos_eng(fac.engine());
+  chaos_eng.bind_link(&fac.lan());
+  chaos_eng.bind_link(&fac.esnet_nersc());
+  chaos_eng.bind_link(&fac.esnet_alcf());
+  chaos_eng.bind_adapter(&fac.nersc_adapter());
+  chaos_eng.bind_adapter(&fac.alcf_adapter());
+  chaos_eng.bind_transfer(&fac.globus());
+  chaos_eng.bind_endpoint(&fac.cfs());
+  chaos_eng.bind_endpoint(&fac.eagle());
+  chaos_eng.bind_flow_engine(&fac.flows());
+  chaos_eng.bind_run_db(&fac.run_db());
+  if (scenario != nullptr) chaos_eng.arm(*scenario);
+
+  std::vector<sim::Future<pipeline::ScanOutcome>> futs;
+  futs.reserve(kScans);
+  pipeline::ScanOptions options;
+  options.streaming = false;
+  options.archive = false;
+  for (int i = 0; i < kScans; ++i) {
+    fac.engine().schedule_at(double(i) * kInterval, [&fac, &futs, i,
+                                                     options] {
+      futs.push_back(fac.process_scan(make_scan(std::size_t(i)), options));
+    });
+  }
+  fac.engine().run();
+
+  CampaignResult r;
+  // A crash scenario resolves the original futures non-terminal and the
+  // replayed runs finish in the database, so completion is counted there:
+  // a scan is complete when every branch flow has a Completed run for it.
+  auto& db = fac.run_db();
+  for (int i = 0; i < kScans; ++i) {
+    char id[32];
+    std::snprintf(id, sizeof id, "scan-%03d", i);
+    Seconds done_at = -1.0;
+    bool all = true;
+    for (const char* flow_name :
+         {"new_file_832", "nersc_recon_flow", "alcf_recon_flow"}) {
+      Seconds branch = -1.0;
+      for (const auto& run : db.runs(flow_name)) {
+        if (run.parameters == id &&
+            run.state == flow::RunState::Completed) {
+          branch = std::max(branch, run.finished_at);
+        }
+      }
+      if (branch < 0.0) all = false;
+      done_at = std::max(done_at, branch);
+    }
+    if (all) {
+      ++r.completed;
+      r.makespan = std::max(r.makespan, done_at);
+      r.scan_latencies.push_back(done_at - double(i) * kInterval);
+    }
+  }
+  return r;
+}
+
+struct NamedScenario {
+  std::string key;
+  Scenario scenario;
+};
+
+std::vector<NamedScenario> golden_scenarios() {
+  std::vector<NamedScenario> out;
+  out.push_back({"facility_outage",
+                 {"nersc_maintenance",
+                  {{FaultKind::FacilityOutage, 120.0, 900.0, "nersc", 0.0}}}});
+  out.push_back({"link_blackout",
+                 {"esnet_routing_flap",
+                  {{FaultKind::LinkBlackout, 120.0, 300.0, "esnet-nersc",
+                    0.0}}}});
+  out.push_back({"wan_degradation",
+                 {"esnet_degraded",
+                  {{FaultKind::LinkDegradation, 60.0, 900.0, "esnet-alcf",
+                    0.2}}}});
+  out.push_back(
+      {"fault_burst",
+       {"globus_fault_burst",
+        {{FaultKind::TransientBurst, 60.0, 600.0, "", 0.3},
+         {FaultKind::CorruptionBurst, 60.0, 600.0, "", 0.3}}}});
+  out.push_back({"permission_burst",
+                 {"cfs_permission_incident",
+                  {{FaultKind::PermissionBurst, 60.0, 120.0, "nersc-cfs",
+                    0.0}}}});
+  out.push_back({"recall_spike",
+                 {"hpss_recall_queue",
+                  {{FaultKind::RecallLatencySpike, 60.0, 900.0,
+                    "esnet-nersc", 45.0}}}});
+  out.push_back({"engine_crash",
+                 {"orchestrator_crash",
+                  {{FaultKind::EngineCrash, 400.0, 120.0, "", 0.0}}}});
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== chaos campaign benchmark (%d scans @ %.0fs cadence) ===\n\n",
+              kScans, kInterval);
+
+  const CampaignResult base = run_campaign(nullptr);
+  std::printf("%-18s completed %zu/%d  makespan %8.1fs  "
+              "mean latency %7.1fs  p95 %7.1fs\n",
+              "baseline", base.completed, kScans, base.makespan,
+              base.mean_latency(), base.p95_latency());
+
+  struct Row {
+    std::string key;
+    CampaignResult r;
+  };
+  std::vector<Row> rows;
+  for (const auto& ns : golden_scenarios()) {
+    Row row{ns.key, run_campaign(&ns.scenario)};
+    std::printf("%-18s completed %zu/%d  makespan %8.1fs  "
+                "mean latency %7.1fs  p95 %7.1fs  inflation %.2fx  %s\n",
+                row.key.c_str(), row.r.completed, kScans, row.r.makespan,
+                row.r.mean_latency(), row.r.p95_latency(),
+                base.mean_latency() > 0.0
+                    ? row.r.mean_latency() / base.mean_latency()
+                    : 0.0,
+                row.r.completed == std::size_t(kScans) ? "zero lost OK"
+                                                       : "LOST SCANS");
+    rows.push_back(std::move(row));
+  }
+
+  if (FILE* f = std::fopen("BENCH_chaos_campaign.json", "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"scans\": %d,\n", kScans);
+    std::fprintf(f, "  \"interval_s\": %.1f,\n", kInterval);
+    std::fprintf(f, "  \"baseline\": {\"completed\": %zu, "
+                    "\"makespan_s\": %.3f, \"mean_latency_s\": %.3f, "
+                    "\"p95_latency_s\": %.3f},\n",
+                 base.completed, base.makespan, base.mean_latency(),
+                 base.p95_latency());
+    std::fprintf(f, "  \"scenarios\": {\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      std::fprintf(
+          f,
+          "    \"%s\": {\"completed\": %zu, \"makespan_s\": %.3f, "
+          "\"mean_latency_s\": %.3f, \"p95_latency_s\": %.3f, "
+          "\"makespan_inflation\": %.4f, \"latency_inflation\": %.4f}%s\n",
+          row.key.c_str(), row.r.completed, row.r.makespan,
+          row.r.mean_latency(), row.r.p95_latency(),
+          base.makespan > 0.0 ? row.r.makespan / base.makespan : 0.0,
+          base.mean_latency() > 0.0
+              ? row.r.mean_latency() / base.mean_latency()
+              : 0.0,
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_chaos_campaign.json\n");
+  }
+
+  bool ok = base.completed == std::size_t(kScans);
+  for (const auto& row : rows) {
+    ok = ok && row.r.completed == std::size_t(kScans);
+  }
+  return ok ? 0 : 1;
+}

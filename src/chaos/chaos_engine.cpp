@@ -1,0 +1,178 @@
+#include "chaos/chaos_engine.hpp"
+
+#include "common/log.hpp"
+
+namespace alsflow::chaos {
+
+void ChaosEngine::arm(const Scenario& scenario) {
+  for (const FaultEvent& ev : scenario.events) {
+    // Copy the event into each closure: the Scenario need not outlive arm().
+    eng_.schedule_at(ev.at, [this, ev] { apply(ev); });
+    // Data loss never reverts, whatever the event says its duration is.
+    if (ev.duration > 0.0 && ev.kind != FaultKind::DatabaseLoss) {
+      eng_.schedule_at(ev.at + ev.duration, [this, ev] { revert(ev); });
+    }
+  }
+  log_warn("chaos") << "armed scenario '" << scenario.name << "' ("
+                    << scenario.events.size() << " events)";
+}
+
+std::size_t ChaosEngine::applied_count() const {
+  std::size_t n = 0;
+  for (const auto& entry : log_) {
+    if (entry.applied && !entry.revert) ++n;
+  }
+  return n;
+}
+
+void ChaosEngine::record(const FaultEvent& ev, bool applied, bool is_revert) {
+  InjectedFault entry;
+  entry.at = eng_.now();
+  entry.kind = ev.kind;
+  entry.target = ev.target;
+  entry.magnitude = ev.magnitude;
+  entry.duration = ev.duration;
+  entry.applied = applied;
+  entry.revert = is_revert;
+  log_.push_back(entry);
+  if (applied) {
+    log_warn("chaos") << (is_revert ? "revert " : "inject ")
+                      << fault_kind_name(ev.kind)
+                      << (ev.target.empty() ? "" : " on " + ev.target)
+                      << " at t=" << eng_.now();
+  } else {
+    log_warn("chaos") << "skipped " << fault_kind_name(ev.kind) << ": target '"
+                      << ev.target << "' not bound";
+  }
+}
+
+void ChaosEngine::apply(const FaultEvent& ev) {
+  bool applied = false;
+  switch (ev.kind) {
+    case FaultKind::FacilityOutage: {
+      auto it = adapters_.find(ev.target);
+      if (it != adapters_.end()) {
+        it->second->set_available(false);
+        applied = true;
+      }
+      break;
+    }
+    case FaultKind::LinkDegradation:
+    case FaultKind::LinkBlackout: {
+      auto it = links_.find(ev.target);
+      if (it != links_.end()) {
+        it->second->set_bandwidth_factor(
+            ev.kind == FaultKind::LinkBlackout ? 0.0 : ev.magnitude);
+        applied = true;
+      }
+      break;
+    }
+    case FaultKind::RecallLatencySpike: {
+      auto it = links_.find(ev.target);
+      if (it != links_.end()) {
+        it->second->set_extra_latency(ev.magnitude);
+        applied = true;
+      }
+      break;
+    }
+    case FaultKind::TransientBurst:
+      if (transfer_ != nullptr) {
+        transfer_->set_transient_failure_rate(ev.magnitude);
+        applied = true;
+      }
+      break;
+    case FaultKind::CorruptionBurst:
+      if (transfer_ != nullptr) {
+        transfer_->set_corruption_rate(ev.magnitude);
+        applied = true;
+      }
+      break;
+    case FaultKind::PermissionBurst: {
+      auto it = endpoints_.find(ev.target);
+      if (it != endpoints_.end()) {
+        it->second->deny("put", "");  // every write path
+        applied = true;
+      }
+      break;
+    }
+    case FaultKind::EngineCrash:
+      if (flows_ != nullptr) {
+        flows_->halt();
+        applied = true;
+      }
+      break;
+    case FaultKind::DatabaseLoss:
+      if (db_ != nullptr) {
+        db_->clear_task_records();
+        applied = true;
+      }
+      break;
+  }
+  record(ev, applied, /*is_revert=*/false);
+}
+
+void ChaosEngine::revert(const FaultEvent& ev) {
+  bool applied = false;
+  switch (ev.kind) {
+    case FaultKind::FacilityOutage: {
+      auto it = adapters_.find(ev.target);
+      if (it != adapters_.end()) {
+        it->second->set_available(true);
+        applied = true;
+      }
+      break;
+    }
+    case FaultKind::LinkDegradation:
+    case FaultKind::LinkBlackout: {
+      auto it = links_.find(ev.target);
+      if (it != links_.end()) {
+        it->second->set_bandwidth_factor(1.0);
+        applied = true;
+      }
+      break;
+    }
+    case FaultKind::RecallLatencySpike: {
+      auto it = links_.find(ev.target);
+      if (it != links_.end()) {
+        it->second->set_extra_latency(0.0);
+        applied = true;
+      }
+      break;
+    }
+    case FaultKind::TransientBurst:
+      if (transfer_ != nullptr) {
+        transfer_->set_transient_failure_rate(0.0);
+        applied = true;
+      }
+      break;
+    case FaultKind::CorruptionBurst:
+      if (transfer_ != nullptr) {
+        transfer_->set_corruption_rate(0.0);
+        applied = true;
+      }
+      break;
+    case FaultKind::PermissionBurst: {
+      auto it = endpoints_.find(ev.target);
+      if (it != endpoints_.end()) {
+        // Lifting the incident clears *all* deny rules on the endpoint —
+        // chaos assumes it owns the permission state of its targets.
+        it->second->allow_all();
+        applied = true;
+      }
+      break;
+    }
+    case FaultKind::EngineCrash:
+      if (flows_ != nullptr) {
+        last_replay_ = flows_->replay();
+        applied = true;
+      }
+      break;
+    case FaultKind::DatabaseLoss:
+      // Data loss does not revert; arm() never schedules one (duration is
+      // ignored for this kind), so reaching here means a hand-built revert.
+      break;
+  }
+  record(ev, applied, /*is_revert=*/true);
+}
+
+}  // namespace alsflow::chaos

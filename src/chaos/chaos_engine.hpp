@@ -1,0 +1,93 @@
+// Deterministic fault injection on the simulation clock.
+//
+// The ChaosEngine owns no components: the world (a pipeline::Facility, or
+// a hand-built test rig) *binds* its links, compute adapters, transfer
+// service, storage endpoints, and flow engine by name, and arm() schedules
+// each scenario event's apply/revert pair as ordinary simulation events.
+// Faults therefore interleave with the workload exactly as the event queue
+// dictates — byte-reproducibly for a fixed seed, independent of host
+// thread count — and every injection is recorded in an audit log the
+// resilience suite asserts against.
+//
+// Injection seams (all first-class component API, not test hooks):
+//   net::Link::set_bandwidth_factor / set_extra_latency
+//   hpc::ComputeAdapter::set_available
+//   transfer::TransferService::set_transient_failure_rate /
+//                              set_corruption_rate
+//   storage::StorageEndpoint::deny / allow_all
+//   flow::FlowEngine::halt / replay
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/scenario.hpp"
+#include "flow/engine.hpp"
+#include "hpc/adapter.hpp"
+#include "net/link.hpp"
+#include "sim/engine.hpp"
+#include "storage/endpoint.hpp"
+#include "transfer/transfer_service.hpp"
+
+namespace alsflow::chaos {
+
+// One entry in the injection audit log.
+struct InjectedFault {
+  Seconds at = 0.0;       // when it fired (sim clock)
+  FaultKind kind = FaultKind::LinkDegradation;
+  std::string target;
+  double magnitude = 0.0;
+  Seconds duration = 0.0;
+  bool applied = false;   // false: target unbound, fault skipped
+  bool revert = false;    // true for the window-end (restore) entry
+};
+
+class ChaosEngine {
+ public:
+  explicit ChaosEngine(sim::Engine& eng) : eng_(eng) {}
+
+  // --- bindings (register before arm(); names resolve at fire time) ---
+  void bind_link(net::Link* link) { links_[link->name()] = link; }
+  void bind_adapter(hpc::ComputeAdapter* adapter) {
+    adapters_[adapter->facility()] = adapter;
+  }
+  void bind_transfer(transfer::TransferService* svc) { transfer_ = svc; }
+  void bind_endpoint(storage::StorageEndpoint* ep) {
+    endpoints_[ep->name()] = ep;
+  }
+  void bind_flow_engine(flow::FlowEngine* flows) { flows_ = flows; }
+  void bind_run_db(flow::RunDatabase* db) { db_ = db; }
+
+  // Schedule every event of `scenario` (apply at `at`, revert at
+  // `at + duration`; no revert when duration <= 0). May be called more
+  // than once to layer scenarios.
+  void arm(const Scenario& scenario);
+
+  // Audit log of fired injections, in fire order.
+  const std::vector<InjectedFault>& log() const { return log_; }
+  std::size_t applied_count() const;
+
+  // Report from the most recent EngineCrash replay (empty until one fired).
+  const std::optional<flow::ReplayReport>& last_replay() const {
+    return last_replay_;
+  }
+
+ private:
+  void apply(const FaultEvent& ev);
+  void revert(const FaultEvent& ev);
+  void record(const FaultEvent& ev, bool applied, bool is_revert);
+
+  sim::Engine& eng_;
+  std::map<std::string, net::Link*> links_;
+  std::map<std::string, hpc::ComputeAdapter*> adapters_;
+  std::map<std::string, storage::StorageEndpoint*> endpoints_;
+  transfer::TransferService* transfer_ = nullptr;
+  flow::FlowEngine* flows_ = nullptr;
+  flow::RunDatabase* db_ = nullptr;
+  std::vector<InjectedFault> log_;
+  std::optional<flow::ReplayReport> last_replay_;
+};
+
+}  // namespace alsflow::chaos

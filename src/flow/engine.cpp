@@ -228,6 +228,15 @@ sim::Future<FlowRunResult> FlowEngine::run_flow_impl(std::string name,
   const FlowFn fn = reg_it->second.fn;
   const FlowOptions options = reg_it->second.options;
 
+  // A halted (crashed) orchestrator accepts nothing: park the submission
+  // until replay() brings the engine back — the client retrying against a
+  // dead server. Loop: the engine may halt again between the gate firing
+  // and this waiter resuming (each halt installs a fresh gate).
+  while (halted_) {
+    sim::Event<sim::Unit> gate = resume_gate_;
+    co_await gate;
+  }
+
   FlowRunResult result;
   result.run_id = db_.create_run(name, sim_.now(), parameters);
 
@@ -269,7 +278,9 @@ sim::Future<FlowRunResult> FlowEngine::run_flow_impl(std::string name,
   for (int attempt = 0;; ++attempt) {
     FlowContext ctx{*this, result.run_id, parameters, flow_span, name};
     status = co_await fn(ctx);
-    if (status.ok() || attempt >= options.max_retries) break;
+    // No flow-level retries while halted: the crashed process quiesces and
+    // replay() re-drives the interrupted run instead.
+    if (status.ok() || attempt >= options.max_retries || halted_) break;
     attempts = attempt + 2;
     db_.add_retry(result.run_id);
     db_.mark_retrying(result.run_id, sim_.now());
@@ -283,6 +294,19 @@ sim::Future<FlowRunResult> FlowEngine::run_flow_impl(std::string name,
                         << "); retrying";
     co_await sim::delay(sim_, options.retry_delay);
     db_.mark_running(result.run_id, sim_.now());
+  }
+
+  if (halted_ && !status.ok()) {
+    // Crash semantics: the dying process writes no terminal record. The
+    // run stays non-terminal in the database, which is exactly the marker
+    // replay() uses to find interrupted work.
+    result.state = RunState::Running;
+    result.status = status;
+    if (flow_span != 0) {
+      tel.tracer().attr(flow_span, "state", "interrupted");
+      tel.tracer().end(flow_span, sim_.now());
+    }
+    co_return result;
   }
 
   result.state = status.ok() ? RunState::Completed : RunState::Failed;
@@ -343,6 +367,7 @@ sim::Future<Status> FlowEngine::run_task_impl(
       rec.task_name = task_name;
       rec.state = RunState::Completed;
       rec.started_at = rec.finished_at = sim_.now();
+      rec.idempotency_key = options.idempotency_key;
       db_.record_task(rec);
       if (tel.enabled()) {
         // Zero-length span: the skip is visible in the trace.
@@ -361,6 +386,7 @@ sim::Future<Status> FlowEngine::run_task_impl(
   rec.flow_run_id = ctx.run_id;
   rec.task_name = task_name;
   rec.started_at = sim_.now();
+  rec.idempotency_key = options.idempotency_key;
 
   telemetry::SpanId task_span = 0;
   if (tel.enabled()) {
@@ -375,9 +401,15 @@ sim::Future<Status> FlowEngine::run_task_impl(
   Status status = Status::success();
   Seconds next_delay = options.retry_delay;
   for (int attempt = 0;; ++attempt) {
+    // Fail fast under halt: a crashed orchestrator starts no attempt and
+    // burns no retry budget; replay() re-queues the work instead.
+    if (halted_) {
+      status = Error::make("engine_halted", task_name);
+      break;
+    }
     ++rec.attempts;
     status = co_await body();
-    if (status.ok() || attempt >= options.max_retries) break;
+    if (status.ok() || attempt >= options.max_retries || halted_) break;
     if (tel.enabled()) {
       tel.metrics()
           .counter("alsflow_task_retries_total", "task=\"" + task_name + "\"")
@@ -390,10 +422,16 @@ sim::Future<Status> FlowEngine::run_task_impl(
   }
   if (task_span != 0) clear_active_task_span(ctx.run_id);
 
+  // A task cut off by halt() writes nothing (the crashed process never got
+  // to): from the database's point of view it simply never finished, and
+  // replay() re-queues it with the interrupted run. Successes still record
+  // — the work is durably done even if the orchestrator died after.
+  const bool crash_interrupted = halted_ && !status.ok();
+
   rec.finished_at = sim_.now();
   rec.state = status.ok() ? RunState::Completed : RunState::Failed;
   rec.error = status.ok() ? "" : status.error().code;
-  db_.record_task(rec);
+  if (!crash_interrupted) db_.record_task(rec);
   if (task_span != 0) {
     tel.tracer().attr(task_span, "attempts", std::uint64_t(rec.attempts));
     tel.tracer().attr(task_span, "state", run_state_name(rec.state));
@@ -409,6 +447,88 @@ sim::Future<Status> FlowEngine::run_task_impl(
     remember_idempotent_success(options.idempotency_key);
   }
   co_return status;
+}
+
+void FlowEngine::halt() {
+  if (halted_) return;
+  halted_ = true;
+  resume_gate_ = sim::Event<sim::Unit>();
+  {
+    // The cache is process memory; a crash loses it. replay() proves what
+    // survived from the durable task records instead.
+    LockGuard lock(mu_);
+    idempotency_cache_.clear();
+    idempotency_order_.clear();
+  }
+  log_warn("prefect") << "engine halted: volatile state dropped, "
+                         "submissions parked until replay";
+}
+
+ReplayReport FlowEngine::replay() {
+  ReplayReport report;
+
+  // 1. Rebuild the idempotency cache from durable completed-task records.
+  // Duplicate records for one key collapse into a single entry; records
+  // whose flow_run_id points at nothing are still safe to restore (the key
+  // itself names the work); partial (non-terminal) records restore nothing
+  // so the work re-runs.
+  {
+    std::set<std::string> restored;
+    for (const auto& rec : db_.task_records()) {
+      if (rec.state != RunState::Completed || rec.idempotency_key.empty()) {
+        continue;
+      }
+      if (restored.insert(rec.idempotency_key).second) {
+        remember_idempotent_success(rec.idempotency_key);
+        ++report.keys_restored;
+      }
+    }
+  }
+
+  // 2. Every non-terminal flow run is work the crash cut off. Cancel the
+  // stale record, then resubmit each distinct (flow, parameters) pair once
+  // — unless some other run of that pair already completed.
+  std::set<std::pair<std::string, std::string>> completed_pairs;
+  for (const auto& run : db_.runs()) {
+    if (run.state == RunState::Completed) {
+      completed_pairs.insert({run.flow_name, run.parameters});
+    }
+  }
+  std::vector<std::pair<std::string, std::string>> resubmit;  // db order
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const auto& run : db_.runs()) {
+    if (is_terminal(run.state)) continue;
+    db_.mark_finished(run.id, RunState::Cancelled, sim_.now(),
+                      "interrupted_by_crash");
+    ++report.runs_cancelled;
+    if (flows_.find(run.flow_name) == flows_.end()) {
+      // A record for a flow nobody registered (renamed flow, foreign
+      // database): tolerated, never fatal.
+      ++report.records_ignored;
+      log_warn("prefect") << "replay: run " << run.id
+                          << " names unregistered flow '" << run.flow_name
+                          << "'; skipped";
+      continue;
+    }
+    const auto pair = std::make_pair(run.flow_name, run.parameters);
+    if (completed_pairs.count(pair)) continue;  // finished elsewhere
+    if (seen.insert(pair).second) resubmit.push_back(pair);
+  }
+
+  // 3. Back in business: release parked submissions, then re-drive the
+  // interrupted work. Order matters — halted_ must drop first so the
+  // resubmitted runs don't park on the gate themselves.
+  halted_ = false;
+  resume_gate_.trigger();
+  for (const auto& [flow_name, parameters] : resubmit) {
+    submit_flow(flow_name, parameters);
+    ++report.runs_resubmitted;
+  }
+  log_warn("prefect") << "replay: restored " << report.keys_restored
+                      << " completed-task keys, cancelled "
+                      << report.runs_cancelled << " stale runs, resubmitted "
+                      << report.runs_resubmitted;
+  return report;
 }
 
 void FlowEngine::remember_idempotent_success(const std::string& key) {

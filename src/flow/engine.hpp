@@ -65,6 +65,15 @@ struct FlowRunResult {
   Status status = Status::success();
 };
 
+// What FlowEngine::replay() did to recover from a halt: how much finished
+// work it could prove durable, and what it had to restart.
+struct ReplayReport {
+  std::size_t keys_restored = 0;     // completed-task idempotency keys
+  std::size_t runs_cancelled = 0;    // stale non-terminal flow runs
+  std::size_t runs_resubmitted = 0;  // interrupted (flow, parameters) pairs
+  std::size_t records_ignored = 0;   // malformed / unregistered-flow records
+};
+
 // ---------------------------------------------------------------------------
 // Static flow-graph description (pre-flight validation)
 // ---------------------------------------------------------------------------
@@ -197,6 +206,26 @@ class FlowEngine {
     return idempotency_cache_.size();
   }
 
+  // --- crash recovery (the chaos EngineCrash fault drives this) ----------
+  //
+  // halt() models the orchestrator process dying: the volatile idempotency
+  // cache is lost, no new flow run starts (submissions park until replay),
+  // in-flight tasks stop retrying and fail fast with `engine_halted`, and —
+  // like a real crash — nothing more is written to the run database for
+  // interrupted runs, so they stay non-terminal.
+  //
+  // replay() is the restart: it rebuilds the idempotency cache from durable
+  // completed TaskRunRecords, marks stale non-terminal flow runs Cancelled,
+  // and resubmits each interrupted (flow, parameters) pair once (skipping
+  // pairs that some other run already completed). Completed tasks of the
+  // resubmitted runs are skipped via the restored cache, so recovery
+  // re-executes only work that was genuinely in flight. Malformed records —
+  // duplicates, unknown flow names, partial (started-but-unfinished) tasks
+  // — are tolerated and counted, never fatal.
+  void halt() ALSFLOW_EXCLUDES(mu_);
+  bool halted() const { return halted_; }
+  ReplayReport replay() ALSFLOW_EXCLUDES(mu_);
+
  private:
   struct Registration {
     FlowFn fn;
@@ -244,6 +273,11 @@ class FlowEngine {
   std::deque<std::string> idempotency_order_ ALSFLOW_GUARDED_BY(mu_);
   std::map<int, std::shared_ptr<bool>> schedules_;
   int next_schedule_ = 1;
+  // Crash state: true between halt() and replay(). Engine-thread only.
+  bool halted_ = false;
+  // One gate per halt window: run_flow submissions arriving while halted
+  // await it; replay() triggers it after recovery state is rebuilt.
+  sim::Event<sim::Unit> resume_gate_;
 };
 
 }  // namespace alsflow::flow

@@ -46,6 +46,11 @@ struct TaskRunRecord {
   Seconds started_at = -1.0;
   Seconds finished_at = -1.0;
   std::string error;
+  // The key the task ran under (empty if none). Durable counterpart of the
+  // engine's volatile idempotency cache: FlowEngine::replay() rebuilds the
+  // cache from completed task records so a restarted engine skips work that
+  // already finished before the crash.
+  std::string idempotency_key;
 };
 
 class RunDatabase {
@@ -76,6 +81,15 @@ class RunDatabase {
   // Task runs ------------------------------------------------------------
   void record_task(TaskRunRecord rec);
   std::vector<TaskRunRecord> tasks(const std::string& flow_run_id) const;
+  // Every task record in insertion order (replay scans this to rebuild the
+  // idempotency cache; the reference stays stable between record_task calls).
+  const std::vector<TaskRunRecord>& task_records() const { return task_runs_; }
+  // Drop the task ledger (models losing the run database's task table —
+  // e.g. a database volume loss). Flow-run records survive, so a later
+  // replay() still knows *what* was interrupted but restores no
+  // idempotency keys: recovery degrades from skip-completed to
+  // at-least-once re-execution.
+  void clear_task_records() { task_runs_.clear(); }
 
   // Stage-level Table 2: durations of the most recent `last_n` completed
   // runs of `task_name` within `flow_name` (empty flow_name matches any

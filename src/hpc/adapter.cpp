@@ -4,6 +4,32 @@
 
 namespace alsflow::hpc {
 
+void ComputeAdapter::set_available(bool up) {
+  if (up == available_) return;
+  available_ = up;
+  auto& tel = telemetry::global();
+  if (tel.enabled()) {
+    tel.metrics()
+        .gauge("alsflow_hpc_facility_up", "facility=\"" + facility() + "\"")
+        .set(up ? 1.0 : 0.0);
+  }
+  if (up) {
+    gate_.trigger();
+  } else {
+    gate_ = sim::Event<sim::Unit>();
+  }
+}
+
+sim::Future<sim::Unit> ComputeAdapter::ensure_available_impl() {
+  // Loop: the facility may drop again between the gate firing and this
+  // waiter resuming (each outage installs a fresh gate, so re-read it).
+  while (!available_) {
+    sim::Event<sim::Unit> gate = gate_;
+    co_await gate;
+  }
+  co_return sim::Unit{};
+}
+
 void ComputeAdapter::record_job_telemetry(const ReconJob& job,
                                           const ReconJobOutcome& outcome) {
   auto& tel = telemetry::global();
@@ -51,6 +77,7 @@ sim::Future<ReconJobOutcome> NerscSlurmAdapter::run_impl(ReconJob job) {
   ReconJobOutcome outcome;
   outcome.facility = facility();
   outcome.submitted_at = eng_.now();
+  co_await ensure_available();  // maintenance window shows up as queue wait
 
   const Seconds compute = model_.recon_seconds(
       Device::CpuNode128, job.algorithm, job.nz, job.n, job.n_iterations);
@@ -86,6 +113,7 @@ sim::Future<ReconJobOutcome> AlcfGlobusComputeAdapter::run_impl(ReconJob job) {
   ReconJobOutcome outcome;
   outcome.facility = facility();
   outcome.submitted_at = eng_.now();
+  co_await ensure_available();  // maintenance window shows up as queue wait
 
   FunctionTask task;
   task.name = job.name;
@@ -104,6 +132,7 @@ sim::Future<ReconJobOutcome> WorkstationAdapter::run_impl(ReconJob job) {
   ReconJobOutcome outcome;
   outcome.facility = facility();
   outcome.submitted_at = eng_.now();
+  co_await ensure_available();
   co_await slot_.acquire();
   outcome.started_at = eng_.now();
   co_await sim::delay(

@@ -55,8 +55,24 @@ class ComputeAdapter {
   }
   virtual std::string facility() const = 0;
 
+  // --- chaos seam: facility health (src/chaos drives this) ---
+  //
+  // A facility in a maintenance window or outage still *accepts*
+  // submissions but holds them until health is restored — how a scheduled
+  // Slurm reservation or a paused Globus Compute endpoint behaves. Flows
+  // see the window as queue wait, not failure, so a campaign rides out
+  // maintenance without burning retry budget.
+  void set_available(bool up);
+  bool available() const { return available_; }
+
  protected:
   virtual sim::Future<ReconJobOutcome> run_impl(ReconJob job) = 0;
+
+  // Resolves immediately while healthy, otherwise when set_available(true)
+  // next fires. Every run_impl awaits this before submitting.
+  sim::Future<sim::Unit> ensure_available() {
+    return ensure_available_impl();
+  }
 
   // Telemetry shared by every adapter: a job span (with retroactive
   // queue-wait and execute child spans — timestamps are only known once the
@@ -64,6 +80,15 @@ class ComputeAdapter {
   // histogram. No-op when telemetry is disabled or the job never started.
   void record_job_telemetry(const ReconJob& job,
                             const ReconJobOutcome& outcome);
+
+ private:
+  sim::Future<sim::Unit> ensure_available_impl();
+
+  bool available_ = true;
+  // One gate per outage window: held submissions await the current gate;
+  // restoring health triggers it (releasing every waiter); the next outage
+  // installs a fresh one.
+  sim::Event<sim::Unit> gate_;
 };
 
 struct NerscAdapterTuning {

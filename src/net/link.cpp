@@ -35,7 +35,8 @@ void Link::update_progress() {
   const Seconds dt = now - last_update_;
   last_update_ = now;
   if (active_.empty() || dt <= 0.0) return;
-  const double rate_each = bandwidth_ / double(active_.size());
+  const double rate_each = bandwidth_ * factor_ / double(active_.size());
+  if (rate_each <= 0.0) return;  // blacked out: nothing moved
   for (auto& t : active_) {
     t.remaining = std::max(0.0, t.remaining - rate_each * dt);
   }
@@ -47,16 +48,27 @@ void Link::reschedule() {
     pending_event_ = 0;
   }
   if (active_.empty()) return;
+  const double rate_each = bandwidth_ * factor_ / double(active_.size());
+  // Blackout: transfers hold their position; set_bandwidth_factor(> 0)
+  // reschedules when the path comes back.
+  if (rate_each <= 0.0) return;
   double min_remaining = std::numeric_limits<double>::max();
   for (const auto& t : active_) {
     min_remaining = std::min(min_remaining, t.remaining);
   }
-  const double rate_each = bandwidth_ / double(active_.size());
   const Seconds eta = min_remaining / rate_each;
   pending_event_ = eng_.schedule_in(eta, [this] {
     pending_event_ = 0;
     on_completion_event();
   });
+}
+
+void Link::set_bandwidth_factor(double f) {
+  // Settle progress at the old rate first, then apply the new one.
+  update_progress();
+  factor_ = f < 0.0 ? 0.0 : f;
+  reschedule();
+  record_metrics();
 }
 
 void Link::on_completion_event() {
@@ -66,9 +78,11 @@ void Link::on_completion_event() {
     if (it->remaining <= 0.5) {
       auto done = it->done;
       it = active_.erase(it);
-      // Deliver after propagation latency.
-      if (latency_ > 0.0) {
-        eng_.schedule_in(latency_, [done]() mutable { done.trigger(); });
+      // Deliver after propagation latency (plus any chaos recall spike in
+      // effect at delivery time).
+      const Seconds deliver = latency_ + extra_latency_;
+      if (deliver > 0.0) {
+        eng_.schedule_in(deliver, [done]() mutable { done.trigger(); });
       } else {
         done.trigger();
       }
@@ -97,8 +111,9 @@ sim::Future<sim::Unit> Link::send(Bytes bytes) {
   auto done = active_.back().done;
   if (bytes == 0) {
     active_.pop_back();
-    if (latency_ > 0.0) {
-      eng_.schedule_in(latency_, [done]() mutable { done.trigger(); });
+    const Seconds deliver = latency_ + extra_latency_;
+    if (deliver > 0.0) {
+      eng_.schedule_in(deliver, [done]() mutable { done.trigger(); });
     } else {
       // Resolve asynchronously so callers can always co_await first.
       eng_.schedule_in(0.0, [done]() mutable { done.trigger(); });

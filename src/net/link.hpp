@@ -32,6 +32,22 @@ class Link {
   // propagation latency) has arrived. Zero-byte sends incur latency only.
   sim::Future<sim::Unit> send(Bytes bytes);
 
+  // --- chaos seams (src/chaos drives these on the sim clock) ---
+  //
+  // WAN degradation: scale the shared capacity by `f` (1.0 = healthy,
+  // 0.25 = a path running at a quarter rate). `f == 0` is a blackout:
+  // in-flight and newly-submitted transfers stall, byte-for-byte where
+  // they were, until the factor is restored — no transfer is failed, which
+  // is how a routing flap looks to Globus (the task just stops moving).
+  // Zero-byte sends (control messages) still deliver at latency.
+  void set_bandwidth_factor(double f);
+  double bandwidth_factor() const { return factor_; }
+
+  // HPSS-style recall spike: extra per-delivery latency added on top of
+  // the propagation latency (tape mount / recall queue ahead of the read).
+  void set_extra_latency(Seconds s) { extra_latency_ = s < 0.0 ? 0.0 : s; }
+  Seconds extra_latency() const { return extra_latency_; }
+
   std::size_t active_transfers() const { return active_.size(); }
   Bytes total_bytes_sent() const { return total_bytes_; }
 
@@ -56,6 +72,8 @@ class Link {
   std::string name_;
   double bandwidth_;
   Seconds latency_;
+  double factor_ = 1.0;          // chaos bandwidth scale; 0 = blackout
+  Seconds extra_latency_ = 0.0;  // chaos recall-latency spike
   std::list<Transfer> active_;
   Seconds last_update_ = 0.0;
   sim::EventId pending_event_ = 0;

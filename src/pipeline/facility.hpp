@@ -112,7 +112,11 @@ class Facility {
   beamline::Detector& detector() { return detector_; }
   StreamingService& streaming() { return streaming_; }
   hpc::WorkstationAdapter& workstation() { return workstation_; }
+  hpc::NerscSlurmAdapter& nersc_adapter() { return nersc_; }
+  hpc::AlcfGlobusComputeAdapter& alcf_adapter() { return alcf_; }
   net::Link& esnet_nersc() { return esnet_nersc_; }
+  net::Link& esnet_alcf() { return esnet_alcf_; }
+  net::Link& lan() { return lan_; }
 
   // Generate non-beamline Perlmutter load for `duration` (call once,
   // before driving scans, to model realistic realtime queue waits).

@@ -211,14 +211,29 @@ struct TimeoutAwaiter {
 
   bool await_ready() const { return state->ready(); }
   void await_suspend(std::coroutine_handle<> h) {
-    token = state->add_callback([this, h] {
-      eng.cancel(timer);
-      h.resume();
-    });
+    // Order matters: the timer is armed *before* the completion callback is
+    // registered, so the completion callback always sees a valid `timer`.
+    // (The old order registered a callback capturing `timer` while it was
+    // still 0; a callback firing before the assignment — e.g. a state
+    // resolved re-entrantly from another waiter's resumption — would have
+    // cancelled event id 0 and left the real timer live to touch a dead
+    // frame.) The reverse race is safe by construction: schedule_in never
+    // runs its handler inline, so by the time the timer can fire, `token`
+    // is assigned.
+    //
+    // Each path detaches the losing callback *before* h.resume(): resuming
+    // may run the coroutine to completion and destroy this frame (awaiter
+    // included), so nothing may touch `this` — or remain registered to
+    // fire later — after that point. On a future-resolves-at-timeout-tick
+    // tie, whichever event runs first wins and unhooks the loser.
     timer = eng.schedule_in(timeout, [this, h] {
       state->remove_callback(token);
       timed_out = true;
-      h.resume();
+      h.resume();  // frame may be destroyed here; no member access after
+    });
+    token = state->add_callback([this, h] {
+      eng.cancel(timer);
+      h.resume();  // frame may be destroyed here; no member access after
     });
   }
   bool await_resume() const { return !timed_out; }

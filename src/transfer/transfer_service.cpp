@@ -58,6 +58,7 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
   co_await sim::delay(eng_, tuning_.per_task_overhead);
 
   Error first_error{"", ""};
+  std::string stranded_path;
   for (const auto& file : spec.files) {
     auto stat = spec.src->stat(file.src_path);
     if (!stat.ok()) {
@@ -70,10 +71,19 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
 
     bool file_ok = false;
     bool corrupt_copy_at_dst = false;  // last landed copy failed its checksum
+    Seconds backoff = tuning_.retry_delay;
     for (int attempt = 0; attempt <= tuning_.max_retries; ++attempt) {
       if (attempt > 0) {
         ++outcome.retries;
-        co_await sim::delay(eng_, tuning_.retry_delay);
+        // Exponential backoff with deterministic seeded jitter: a fixed
+        // delay would march every transfer caught in the same fault burst
+        // back onto the link in lock-step.
+        Seconds wait = backoff;
+        if (tuning_.retry_jitter > 0.0) {
+          wait *= 1.0 + tuning_.retry_jitter * (2.0 * rng_.uniform() - 1.0);
+        }
+        co_await sim::delay(eng_, wait);
+        backoff *= tuning_.retry_backoff;
       }
       co_await sim::delay(eng_, tuning_.per_file_overhead);
       co_await link->send(size);
@@ -127,10 +137,16 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
           log_warn("globus") << spec.label << ": removed corrupted copy "
                              << file.dst_path << " after retries exhausted";
         } else {
+          // Cleanup failed too: a known-corrupt copy is stranded at the
+          // destination. Surface it in the outcome — it is strictly worse
+          // than retries_exhausted (bad data at rest, not just missing
+          // data), so it overrides first_error below.
+          ++outcome.files_stranded;
+          if (stranded_path.empty()) stranded_path = file.dst_path;
           log_warn("globus") << spec.label
                              << ": could not remove corrupted copy "
                              << file.dst_path << " (" << rm.error().code
-                             << ")";
+                             << "); corrupt copy stranded at destination";
         }
       }
     }
@@ -138,6 +154,9 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
 
   if (outcome.files_failed > 0) {
     outcome.status = first_error;
+  }
+  if (outcome.files_stranded > 0) {
+    outcome.status = Error::make("stranded_corrupt_copy", stranded_path);
   }
   outcome.finished_at = eng_.now();
   finish_telemetry(span, route_label, outcome);
@@ -175,6 +194,10 @@ void TransferService::finish_telemetry(telemetry::SpanId span,
     if (outcome.files_failed > 0) {
       m.counter("alsflow_transfer_failures_total", route_label)
           .add(outcome.files_failed);
+    }
+    if (outcome.files_stranded > 0) {
+      m.counter("alsflow_transfer_stranded_total", route_label)
+          .add(outcome.files_stranded);
     }
   }
 }

@@ -46,6 +46,12 @@ struct TransferOutcome {
   Bytes bytes_moved = 0;
   std::size_t files_ok = 0;
   std::size_t files_failed = 0;
+  // Failed files whose known-corrupt destination copy could not be removed
+  // after the retry budget ran out: a bad copy is sitting at the
+  // destination where downstream flows could ingest it. When nonzero the
+  // outcome's status code is `stranded_corrupt_copy` (more severe than
+  // plain `retries_exhausted`, which means no copy landed at all).
+  std::size_t files_stranded = 0;
   int retries = 0;
   Seconds submitted_at = 0.0;
   Seconds finished_at = 0.0;
@@ -62,7 +68,14 @@ struct TransferTuning {
   // disables the time cost while keeping verification.
   double checksum_rate = 2.5e9;
   int max_retries = 3;
+  // Retry pacing: attempt k (k >= 1) waits retry_delay * retry_backoff^(k-1),
+  // scaled by a deterministic jitter of up to +/- retry_jitter drawn from
+  // the service's seeded rng. A fixed delay resynchronizes every transfer
+  // caught in a fault burst into lock-step retry storms; the spread
+  // decorrelates them while keeping the simulation byte-reproducible.
   Seconds retry_delay = 5.0;
+  double retry_backoff = 2.0;
+  double retry_jitter = 0.25;
 };
 
 class TransferService {

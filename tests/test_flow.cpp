@@ -626,5 +626,186 @@ TEST(FlowValidation, ValidateUnknownFlowReportsIt) {
   EXPECT_NE(issues.front().render().find("nope"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Crash recovery: halt() / replay()
+// ---------------------------------------------------------------------------
+
+// A flow with one keyed task; `executions` counts real (non-skipped) runs
+// of the task body.
+void register_counting_flow(World& w, const std::string& name,
+                            int* executions) {
+  w.flows.register_flow(
+      name, [&w, executions](FlowContext ctx) -> sim::Future<Status> {
+        std::function<sim::Future<Status>()> body =
+            [&w, executions]() -> sim::Future<Status> {
+          ++*executions;
+          co_await sim::delay(w.eng, 2.0);
+          co_return Status::success();
+        };
+        TaskOptions opts;
+        opts.idempotency_key = ctx.flow_name + ":work:" + ctx.parameters;
+        co_return co_await ctx.engine.run_task(ctx, "work", body, opts);
+      });
+}
+
+TEST(Replay, HaltParksSubmissionsUntilReplay) {
+  World w;
+  int executions = 0;
+  register_counting_flow(w, "f", &executions);
+  w.flows.halt();
+  auto fut = w.flows.run_flow("f", "s1");
+  w.eng.schedule_at(10.0, [&] { (void)w.flows.replay(); });
+  w.eng.run();
+  // The submission parked on the halt gate and only ran after replay.
+  EXPECT_EQ(fut.value().state, RunState::Completed);
+  EXPECT_EQ(executions, 1);
+  EXPECT_GE(w.db.runs("f").back().started_at, 10.0);
+}
+
+TEST(Replay, RestoresIdempotencyFromDurableRecords) {
+  World w;
+  int executions = 0;
+  register_counting_flow(w, "f", &executions);
+  // Durable history: a crashed run of (f, s1) whose task completed before
+  // the crash. The run record is non-terminal; the task record carries the
+  // key.
+  auto stale = w.db.create_run("f", 0.0, "s1");
+  TaskRunRecord done;
+  done.flow_run_id = stale;
+  done.task_name = "work";
+  done.state = RunState::Completed;
+  done.attempts = 1;
+  done.idempotency_key = "f:work:s1";
+  w.db.record_task(done);
+
+  auto report = w.flows.replay();
+  w.eng.run();
+  EXPECT_EQ(report.keys_restored, 1u);
+  EXPECT_EQ(report.runs_cancelled, 1u);
+  EXPECT_EQ(report.runs_resubmitted, 1u);
+  // The resubmitted run skipped the completed task via the restored cache.
+  EXPECT_EQ(executions, 0);
+  EXPECT_EQ(w.db.run(stale)->state, RunState::Cancelled);
+  EXPECT_EQ(w.db.runs("f").back().state, RunState::Completed);
+}
+
+TEST(Replay, SkipsPairAlreadyCompletedElsewhere) {
+  World w;
+  int executions = 0;
+  register_counting_flow(w, "f", &executions);
+  auto finished = w.db.create_run("f", 0.0, "s1");
+  w.db.mark_finished(finished, RunState::Completed, 5.0);
+  auto stale = w.db.create_run("f", 1.0, "s1");  // duplicate, interrupted
+  (void)stale;
+  auto report = w.flows.replay();
+  w.eng.run();
+  EXPECT_EQ(report.runs_cancelled, 1u);
+  EXPECT_EQ(report.runs_resubmitted, 0u);
+  EXPECT_EQ(executions, 0);
+}
+
+// --- malformed-record tolerance: one test per class -----------------------
+
+TEST(Replay, ToleratesDuplicateTaskRecords) {
+  World w;
+  int executions = 0;
+  register_counting_flow(w, "f", &executions);
+  auto stale = w.db.create_run("f", 0.0, "s1");
+  for (int i = 0; i < 3; ++i) {
+    TaskRunRecord rec;
+    rec.flow_run_id = stale;
+    rec.task_name = "work";
+    rec.state = RunState::Completed;
+    rec.attempts = 1;
+    rec.idempotency_key = "f:work:s1";
+    w.db.record_task(rec);
+  }
+  auto report = w.flows.replay();
+  w.eng.run();
+  // Three identical records collapse into one restored key; no crash, no
+  // re-execution.
+  EXPECT_EQ(report.keys_restored, 1u);
+  EXPECT_EQ(executions, 0);
+}
+
+TEST(Replay, ToleratesRecordsForUnknownFlows) {
+  World w;
+  int executions = 0;
+  register_counting_flow(w, "f", &executions);
+  // A stale run of a flow nobody registered (renamed flow / foreign DB),
+  // plus a task record pointing at a flow run that doesn't exist at all.
+  w.db.create_run("ghost", 0.0, "s9");
+  TaskRunRecord orphan;
+  orphan.flow_run_id = "no-such-run";
+  orphan.task_name = "work";
+  orphan.state = RunState::Completed;
+  orphan.idempotency_key = "ghost:work:s9";
+  w.db.record_task(orphan);
+
+  auto report = w.flows.replay();
+  w.eng.run();
+  // Cancelled but not resubmitted; the orphan key restores harmlessly.
+  EXPECT_EQ(report.runs_cancelled, 1u);
+  EXPECT_EQ(report.records_ignored, 1u);
+  EXPECT_EQ(report.runs_resubmitted, 0u);
+  EXPECT_EQ(w.db.runs("ghost").back().state, RunState::Cancelled);
+}
+
+TEST(Replay, ToleratesPartialTaskRecords) {
+  World w;
+  int executions = 0;
+  register_counting_flow(w, "f", &executions);
+  auto stale = w.db.create_run("f", 0.0, "s1");
+  // Started-but-never-finished task record: must restore nothing, so the
+  // resubmitted run re-executes the task.
+  TaskRunRecord partial;
+  partial.flow_run_id = stale;
+  partial.task_name = "work";
+  partial.state = RunState::Running;
+  partial.attempts = 1;
+  partial.idempotency_key = "f:work:s1";
+  w.db.record_task(partial);
+
+  auto report = w.flows.replay();
+  w.eng.run();
+  EXPECT_EQ(report.keys_restored, 0u);
+  EXPECT_EQ(report.runs_resubmitted, 1u);
+  EXPECT_EQ(executions, 1);  // interrupted work re-queued, not skipped
+  EXPECT_EQ(w.db.runs("f").back().state, RunState::Completed);
+}
+
+TEST(Replay, HaltStopsTaskRetriesAndWritesNoRecord) {
+  World w;
+  int attempts = 0;
+  w.flows.register_flow(
+      "g", [&](FlowContext ctx) -> sim::Future<Status> {
+        std::function<sim::Future<Status>()> body =
+            [&]() -> sim::Future<Status> {
+          ++attempts;
+          // Halt mid-flight: the first attempt fails after the engine has
+          // crashed, so no retry may start and no record may be written.
+          co_await sim::delay(w.eng, 5.0);
+          co_return Error::make("transient");
+        };
+        TaskOptions opts;
+        opts.max_retries = 5;
+        opts.idempotency_key = "g:work:" + ctx.parameters;
+        co_return co_await ctx.engine.run_task(ctx, "work", body, opts);
+      });
+  auto fut = w.flows.run_flow("g", "s1");
+  w.eng.schedule_at(2.0, [&] { w.flows.halt(); });
+  w.eng.run_until(100.0);
+  EXPECT_EQ(attempts, 1);  // no retries after the crash
+  // The caller sees a non-terminal result; the database has neither a task
+  // record nor a terminal run record — exactly what a dead process leaves.
+  ASSERT_TRUE(fut.done());
+  EXPECT_EQ(fut.value().state, RunState::Running);
+  EXPECT_TRUE(w.db.tasks(w.db.runs("g").back().id).empty());
+  EXPECT_EQ(w.db.runs("g").back().state, RunState::Running);
+
+  auto report = w.flows.replay();
+  EXPECT_EQ(report.runs_resubmitted, 1u);
+}
+
 }  // namespace
 }  // namespace alsflow::flow

@@ -190,6 +190,53 @@ TEST(Coro, TimeoutNotFiredWhenFutureFast) {
   EXPECT_EQ(eng.pending_events(), 0u);
 }
 
+Proc event_timeout_waiter(Engine& eng, Event<int> ev, Seconds timeout,
+                          bool& completed, double& at) {
+  completed = co_await with_timeout(eng, ev, timeout);
+  at = eng.now();
+}
+
+// Regression tests for the future-resolves-at-the-timeout-tick tie. The
+// old await_suspend registered the completion callback *before* arming the
+// timer, so a completion firing in between cancelled event id 0 and left
+// the timer to resume a frame the completion had already resumed (and
+// destroyed). The fix arms the timer first and detaches the losing path
+// before resuming; whichever event was scheduled first wins the tick, and
+// the loser never touches the frame. Both orders must be crash-free and
+// deterministic (the ASan/TSan CI legs check the lifetime claim).
+TEST(Coro, TimeoutTieCompletionScheduledFirstWins) {
+  Engine eng;
+  bool completed = false;
+  double at = -1.0;
+  Event<int> ev;
+  // The producer's event enters the queue before the waiter arms its
+  // timer for the same tick, so the completion runs first.
+  eng.schedule_at(3.0, [ev]() mutable { ev.trigger(9); });
+  event_timeout_waiter(eng, ev, 3.0, completed, at).detach();
+  eng.run();
+  EXPECT_TRUE(completed);
+  EXPECT_DOUBLE_EQ(at, 3.0);
+  EXPECT_EQ(eng.pending_events(), 0u);
+}
+
+TEST(Coro, TimeoutTieTimerArmedFirstWins) {
+  Engine eng;
+  bool completed = true;
+  double at = -1.0;
+  Event<int> ev;
+  // The waiter arms its timer first; the producer then schedules its
+  // trigger for the same tick. The timer wins, the frame is resumed (and
+  // destroyed) on the timeout path, and the late trigger must find no
+  // listener left to poke.
+  event_timeout_waiter(eng, ev, 3.0, completed, at).detach();
+  eng.schedule_at(3.0, [ev]() mutable { ev.trigger(9); });
+  eng.run();
+  EXPECT_FALSE(completed);
+  EXPECT_DOUBLE_EQ(at, 3.0);
+  EXPECT_TRUE(ev.triggered());
+  EXPECT_EQ(eng.pending_events(), 0u);
+}
+
 Proc hold_sem(Engine& eng, Semaphore& sem, Seconds hold,
               std::vector<double>& acquired_at) {
   co_await sem.acquire();

@@ -183,6 +183,78 @@ TEST(Transfer, ExhaustedRetriesRemoveCorruptedDestinationCopy) {
   EXPECT_FALSE(w.cfs.exists("/x"));  // corrupted copy cleaned up
 }
 
+TEST(Transfer, StrandedCorruptCopySurfacesInOutcome) {
+  // Retries exhausted on a corrupt copy AND the cleanup remove() fails
+  // (endpoint denies removes, like a revoked collection): the outcome must
+  // say a known-bad copy is stranded, not just "retries_exhausted".
+  World w;
+  w.svc.set_corruption_rate(1.0);
+  w.cfs.deny("remove", "");
+  ASSERT_TRUE(w.beamline.put("/raw/a", GB, 0xABCD, 0.0).ok());
+  TransferSpec spec;
+  spec.src = &w.beamline;
+  spec.dst = &w.cfs;
+  spec.files = {{"/raw/a", "/x"}};
+  spec.verify_checksum = true;
+  auto out = w.run(std::move(spec));
+  EXPECT_FALSE(out.status.ok());
+  EXPECT_EQ(out.status.error().code, "stranded_corrupt_copy");
+  EXPECT_EQ(out.status.error().message, "/x");
+  EXPECT_EQ(out.files_failed, 1u);
+  EXPECT_EQ(out.files_stranded, 1u);
+  EXPECT_TRUE(w.cfs.exists("/x"));  // the bad copy really is still there
+}
+
+TEST(Transfer, RetryBackoffIsExponential) {
+  // With jitter off, retry waits are retry_delay * backoff^(k-1):
+  // 1 + 2 + 4 = 7 s of backoff across the 3 retries.
+  World w;
+  w.svc.tuning().retry_jitter = 0.0;
+  w.svc.set_corruption_rate(1.0);  // every attempt fails its checksum
+  ASSERT_TRUE(w.beamline.put("/raw/a", GB, 0xABCD, 0.0).ok());
+  TransferSpec spec;
+  spec.src = &w.beamline;
+  spec.dst = &w.cfs;
+  spec.files = {{"/raw/a", "/x"}};
+  auto out = w.run(std::move(spec));
+  EXPECT_EQ(out.retries, 3);
+  // 1 s task overhead + 4 sends (GB at 1.25 GB/s + 0.05 s latency = 0.85 s)
+  // + backoff 1 + 2 + 4.
+  EXPECT_NEAR(out.duration(), 1.0 + 4 * 0.85 + 7.0, 1e-6);
+}
+
+TEST(Transfer, RetryJitterIsSeededAndDeterministic) {
+  // Same seed -> byte-identical retry timing; a different seed shifts it.
+  // (This is the sim-determinism contract: jitter comes from the service's
+  // seeded rng, never from wall clocks or thread scheduling.)
+  auto run_with_seed = [](std::uint64_t seed) {
+    Engine eng;
+    StorageEndpoint src{"src", Tier::BeamlineLocal, TiB};
+    StorageEndpoint dst{"dst", Tier::Cfs, TiB};
+    net::Link link{eng, "l", gbps(10), 0.05};
+    TransferService svc{eng, seed};
+    svc.add_route("src", "dst", &link);
+    svc.tuning().per_task_overhead = 1.0;
+    svc.tuning().per_file_overhead = 0.0;
+    svc.tuning().checksum_rate = 0.0;
+    svc.tuning().retry_delay = 1.0;
+    svc.set_corruption_rate(1.0);
+    EXPECT_TRUE(src.put("/raw/a", GB, 0xABCD, 0.0).ok());
+    TransferSpec spec;
+    spec.src = &src;
+    spec.dst = &dst;
+    spec.files = {{"/raw/a", "/x"}};
+    auto fut = svc.submit(std::move(spec));
+    eng.run();
+    return fut.value().duration();
+  };
+  const double a = run_with_seed(7);
+  const double b = run_with_seed(7);
+  const double c = run_with_seed(8);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
 TEST(Transfer, CleanupOnlyRemovesFailedFiles) {
   // A multi-file task where one file always corrupts: the good files stay,
   // only the failed file's corrupted copy is removed.
