@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "common/telemetry.hpp"
+#include "monitor/slo.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace {
@@ -64,6 +65,45 @@ void BM_EnabledCheck(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EnabledCheck);
+
+void BM_ObservingCheck(benchmark::State& state) {
+  telemetry::global().set_event_sink(nullptr);
+  // What every MonitorEvent emit site pays with no HealthMonitor installed:
+  // one relaxed pointer load + branch, same budget as BM_EnabledCheck.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(telemetry::global().observing());
+  }
+}
+BENCHMARK(BM_ObservingCheck);
+
+void BM_MonitorIngest(benchmark::State& state) {
+  // The monitored path: one SloEngine::ingest per event — window prune,
+  // burn-rate evaluation over both windows, histogram observe. Priced on a
+  // warm per-target series with the production queue-wait spec shape.
+  monitor::SloEngine slo;
+  monitor::SloSpec spec;
+  spec.name = "facility_queue_wait";
+  spec.component = "hpc";
+  spec.kind = "queue_wait";
+  spec.stage = "facility_queue";
+  spec.objective = 60.0;
+  spec.target_fraction = 0.70;
+  spec.rules = {{600.0, 2.0, monitor::Severity::Page},
+                {1800.0, 1.0, monitor::Severity::Ticket}};
+  slo.add(spec);
+  telemetry::MonitorEvent ev;
+  ev.component = "hpc";
+  ev.kind = "queue_wait";
+  ev.target = "nersc";
+  ev.value = 5.0;  // well under objective: steady-state, no alert churn
+  double t = 0.0;
+  for (auto _ : state) {
+    ev.t = t;
+    t += 1.0;  // deque saturates at the 3600 s retention floor
+    benchmark::DoNotOptimize(slo.ingest(ev));
+  }
+}
+BENCHMARK(BM_MonitorIngest);
 
 void BM_CounterAdd(benchmark::State& state) {
   telemetry::Counter c;

@@ -13,6 +13,8 @@
 #include <fstream>
 
 #include "common/telemetry.hpp"
+#include "monitor/health_monitor.hpp"
+#include "monitor/trace_assembler.hpp"
 #include "pipeline/campaign.hpp"
 #include "pipeline/facility.hpp"
 
@@ -39,6 +41,20 @@ int main() {
   }
   std::printf("pre-flight: %zu flows validated clean\n\n",
               facility.flows().registered_flows());
+
+  // Live health monitoring for the shift: the stock SLO set (link
+  // slowdown, transfer goodput/reliability, queue wait, flow completion,
+  // scan end-to-end, first-slice latency) plus a watermark canary on the
+  // run database. Installing the sink is all the wiring there is — every
+  // instrumented service emits MonitorEvents once observing() is true.
+  monitor::HealthMonitor::Config mon_cfg;
+  mon_cfg.capture_logs = false;  // the example owns its stderr
+  monitor::HealthMonitor mon(mon_cfg);
+  mon.add_default_slos();
+  mon.add_watermark("run_db_task_records", "run_db", "orchestrate", [&] {
+    return double(facility.run_db().task_records().size());
+  });
+  mon.install();
 
   facility.start_background_load(hours(20));
   facility.start_pruning(hours(12));
@@ -70,8 +86,10 @@ int main() {
        {"new_file_832", "nersc_recon_flow", "alcf_recon_flow"}) {
     std::printf("per-task breakdown: %s\n", flow);
     for (const auto& task : db.task_names(flow)) {
-      std::printf("  %-24s %s\n", task.c_str(),
-                  db.task_duration_summary(flow, task).row(0).c_str());
+      auto q = db.task_duration_quantiles(flow, task);
+      std::printf("  %-24s %s  p50/p95/p99 %.1f/%.1f/%.1f\n", task.c_str(),
+                  db.task_duration_summary(flow, task).row(0).c_str(), q.p50,
+                  q.p95, q.p99);
     }
   }
   std::printf("\n");
@@ -113,6 +131,47 @@ int main() {
     }
   }
 
+  // Operations view: per-scan provenance traces and the shift's SLO
+  // scoreboard. Everything below is derived from the same sim-domain
+  // span/event stream, so it is byte-identical across re-runs of the same
+  // seeds.
+  const Seconds shift_end = facility.engine().now();
+  mon.sweep(shift_end);
+
+  monitor::ScanTraceAssembler traces(telemetry::global().tracer().spans());
+  std::printf("\nper-scan traces (%zu scans; full set in scan_traces.json)\n",
+              traces.traces().size());
+  std::size_t shown = 0;
+  for (const auto& t : traces.traces()) {
+    if (shown++ == 5) {
+      std::printf("  ... %zu more\n", traces.traces().size() - 5);
+      break;
+    }
+    std::printf("  %s\n", traces.render(t).c_str());
+  }
+  std::ofstream("scan_traces.json") << traces.json();
+
+  std::printf("\nhealth scores at end of shift\n");
+  for (const auto& [target, score] : mon.health_scores(shift_end)) {
+    std::printf("  %-16s %.2f\n", target.c_str(), score);
+  }
+  std::printf("\nSLO summary\n%s", mon.slo_summary(shift_end).c_str());
+  auto alerts = mon.alerts();
+  std::printf("\nalerts this shift: %zu (%zu still active)\n", alerts.size(),
+              mon.active_alerts().size());
+  for (const auto& a : alerts) std::printf("  %s\n", a.render().c_str());
+  const auto incidents = mon.incidents();
+  for (std::size_t i = 0; i < incidents.size(); ++i) {
+    char path[64];
+    std::snprintf(path, sizeof(path), "incident_%03zu.json", i);
+    std::ofstream(path) << incidents[i];
+  }
+  if (!incidents.empty()) {
+    std::printf("  flight-recorder snapshots: incident_000.json .. "
+                "incident_%03zu.json\n",
+                incidents.size() - 1);
+  }
+
   // Telemetry export: the shift as a span tree + metrics snapshot.
   auto& tel = telemetry::global();
   std::ofstream("campaign_trace.json") << tel.tracer().chrome_trace_json();
@@ -122,7 +181,8 @@ int main() {
   std::printf(
       "\ntelemetry written: campaign_trace.json (%zu spans; open in "
       "chrome://tracing or https://ui.perfetto.dev), "
-      "campaign_metrics.prom, campaign_metrics.json\n",
+      "campaign_metrics.prom, campaign_metrics.json, scan_traces.json\n",
       tel.tracer().span_count());
+  mon.uninstall();
   return 0;
 }

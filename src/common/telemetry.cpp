@@ -237,6 +237,10 @@ double Histogram::quantile_from_buckets(double q, std::uint64_t total) const {
   return max_.load(std::memory_order_relaxed);
 }
 
+double Histogram::quantile(double q) const {
+  return quantile_from_buckets(std::clamp(q, 0.0, 1.0), count());
+}
+
 Summary Histogram::summary() const {
   Summary s;
   s.n = count();
@@ -419,6 +423,25 @@ void MetricsRegistry::clear() {
   for (auto& [key, c] : counters_) c->reset();
   for (auto& [key, g] : gauges_) g->reset();
   for (auto& [key, h] : histograms_) h->reset();
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::numeric_values()
+    const {
+  LockGuard lock(m_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters_.size() + gauges_.size() + 2 * histograms_.size());
+  for (const auto& [key, c] : counters_) {
+    out.emplace_back(series(key.first, key.second), double(c->value()));
+  }
+  for (const auto& [key, g] : gauges_) {
+    out.emplace_back(series(key.first, key.second), g->value());
+  }
+  for (const auto& [key, h] : histograms_) {
+    out.emplace_back(series(key.first + "_count", key.second),
+                     double(h->count()));
+    out.emplace_back(series(key.first + "_sum", key.second), h->sum());
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------

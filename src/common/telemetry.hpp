@@ -148,6 +148,13 @@ class Histogram {
   // median/p05/p95 linearly interpolated within buckets.
   Summary summary() const;
 
+  // Linearly interpolated quantile estimate from the bucket counts — the
+  // same estimator summary() uses for its median/p05/p95. q is clamped to
+  // [0, 1]; an empty histogram returns 0. The first bucket interpolates
+  // from min(0, observed min) and the +Inf bucket toward the exact max, so
+  // the estimate never leaves the observed range.
+  double quantile(double q) const;
+
   void reset();
 
  private:
@@ -182,6 +189,11 @@ class MetricsRegistry {
 
   void clear();  // zero all values (references stay valid)
 
+  // Flat numeric snapshot in deterministic series order: counters and
+  // gauges by value, histograms as <name>_count / <name>_sum. The flight
+  // recorder diffs two of these to attach metric deltas to an incident.
+  std::vector<std::pair<std::string, double>> numeric_values() const;
+
  private:
   using Key = std::pair<std::string, std::string>;  // (name, labels)
   mutable Mutex m_;
@@ -189,6 +201,42 @@ class MetricsRegistry {
   std::map<Key, std::unique_ptr<Gauge>> gauges_ ALSFLOW_GUARDED_BY(m_);
   std::map<Key, std::unique_ptr<Histogram>> histograms_
       ALSFLOW_GUARDED_BY(m_);
+};
+
+// ---------------------------------------------------------------------------
+// Monitor events
+// ---------------------------------------------------------------------------
+
+// One health observation pushed by an instrumented component the moment an
+// operation concludes: a file landed (or didn't), a job left the queue, a
+// link delivered, a flow run reached a terminal state. Unlike spans and
+// metrics — which are pull-side artifacts dumped after a run — these feed
+// the live SLO engine in src/monitor, which needs attribution (which
+// facility, which route, which stage) at event time.
+struct MonitorEvent {
+  double t = 0.0;          // seconds on the emitter's clock (sim for the
+                           // orchestration stack, injected clock for serve)
+  std::string component;   // emitting subsystem: "net", "transfer", "hpc",
+                           // "flow", "scan", "streaming", "serve"
+  std::string kind;        // event type within the component, e.g.
+                           // "delivery", "file_attempt", "queue_wait"
+  std::string target;      // attribution: link / route / facility /
+                           // endpoint / tenant name
+  double value = 0.0;      // kind-specific measurement (seconds, bytes/s,
+                           // slowdown ratio, ...)
+  bool ok = true;          // success flag for availability-style SLOs
+  std::string detail;      // failure cause / extra context, e.g.
+                           // "checksum_mismatch", "permission_denied"
+};
+
+// Consumer of the live event stream (monitor::HealthMonitor). on_event is
+// called synchronously from the emitting thread: the single sim thread for
+// orchestration events, serve pool threads for serving events — sinks must
+// be thread-safe.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const MonitorEvent& ev) = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -211,6 +259,20 @@ class Telemetry {
   // base for ClockDomain::Wall spans.
   static double wall_now();
 
+  // Live health-event channel, orthogonal to enabled(): installing a sink
+  // switches emission on; with none installed every emit site costs one
+  // relaxed load and a branch, exactly like the enabled() gate. The sink
+  // must outlive its installation (uninstall with set_event_sink(nullptr)).
+  bool observing() const {
+    return sink_.load(std::memory_order_relaxed) != nullptr;
+  }
+  void set_event_sink(EventSink* sink) {
+    sink_.store(sink, std::memory_order_release);
+  }
+  void emit(const MonitorEvent& ev) {
+    if (EventSink* s = sink_.load(std::memory_order_acquire)) s->on_event(ev);
+  }
+
   void clear() {
     tracer_.clear();
     metrics_.clear();
@@ -218,6 +280,7 @@ class Telemetry {
 
  private:
   std::atomic<bool> enabled_{false};
+  std::atomic<EventSink*> sink_{nullptr};
   Tracer tracer_;
   MetricsRegistry metrics_;
 };

@@ -238,7 +238,8 @@ sim::Future<FlowRunResult> FlowEngine::run_flow_impl(std::string name,
   }
 
   FlowRunResult result;
-  result.run_id = db_.create_run(name, sim_.now(), parameters);
+  const Seconds submitted_at = sim_.now();
+  result.run_id = db_.create_run(name, submitted_at, parameters);
 
   auto& tel = telemetry::global();
   telemetry::SpanId flow_span = 0;
@@ -325,6 +326,17 @@ sim::Future<FlowRunResult> FlowEngine::run_flow_impl(std::string name,
     tel.metrics()
         .counter("alsflow_flow_runs_failed_total", "flow=\"" + name + "\"")
         .add();
+  }
+  if (tel.observing()) {
+    telemetry::MonitorEvent ev;
+    ev.t = sim_.now();
+    ev.component = "flow";
+    ev.kind = "run_done";
+    ev.target = name;
+    ev.value = sim_.now() - submitted_at;
+    ev.ok = status.ok();
+    ev.detail = status.ok() ? "" : status.error().code;
+    tel.emit(ev);
   }
   co_return result;
 }
@@ -501,6 +513,22 @@ ReplayReport FlowEngine::replay() {
     db_.mark_finished(run.id, RunState::Cancelled, sim_.now(),
                       "interrupted_by_crash");
     ++report.runs_cancelled;
+    {
+      // A crash-cancelled run is a failed completion from the SLO's point
+      // of view, attributed to the orchestrator, not any facility.
+      auto& tel = telemetry::global();
+      if (tel.observing()) {
+        telemetry::MonitorEvent ev;
+        ev.t = sim_.now();
+        ev.component = "flow";
+        ev.kind = "run_done";
+        ev.target = run.flow_name;
+        ev.value = sim_.now() - run.created_at;
+        ev.ok = false;
+        ev.detail = "interrupted_by_crash";
+        tel.emit(ev);
+      }
+    }
     if (flows_.find(run.flow_name) == flows_.end()) {
       // A record for a flow nobody registered (renamed flow, foreign
       // database): tolerated, never fatal.

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "common/telemetry.hpp"
+
 namespace alsflow::flow {
 
 const char* run_state_name(RunState s) {
@@ -142,6 +144,38 @@ Summary RunDatabase::task_duration_summary(const std::string& flow_name,
                     durations.end() - std::ptrdiff_t(last_n));
   }
   return summarize(std::move(durations));
+}
+
+RunDatabase::TaskQuantiles RunDatabase::task_duration_quantiles(
+    const std::string& flow_name, const std::string& task_name,
+    std::size_t last_n) const {
+  std::vector<double> durations;
+  for (const auto& t : task_runs_) {
+    if (t.task_name != task_name) continue;
+    if (t.state != RunState::Completed) continue;
+    if (t.started_at < 0.0 || t.finished_at < 0.0) continue;
+    if (!flow_name.empty()) {
+      auto it = runs_.find(t.flow_run_id);
+      if (it == runs_.end() || it->second.flow_name != flow_name) continue;
+    }
+    durations.push_back(t.finished_at - t.started_at);
+  }
+  if (durations.size() > last_n) {
+    durations.erase(durations.begin(),
+                    durations.end() - std::ptrdiff_t(last_n));
+  }
+  TaskQuantiles q;
+  q.n = durations.size();
+  if (q.n == 0) return q;
+  // Geometric bounds spanning sub-second staging steps to hour-long HPC
+  // waits; the interpolated estimate is exact within a bucket's span.
+  telemetry::Histogram hist(
+      {0.5, 1, 2, 5, 10, 20, 40, 80, 160, 320, 640, 1280, 2560, 5120});
+  for (double d : durations) hist.observe(d);
+  q.p50 = hist.quantile(0.50);
+  q.p95 = hist.quantile(0.95);
+  q.p99 = hist.quantile(0.99);
+  return q;
 }
 
 std::vector<std::string> RunDatabase::task_names(

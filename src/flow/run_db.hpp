@@ -98,6 +98,20 @@ class RunDatabase {
                                 const std::string& task_name,
                                 std::size_t last_n = 100) const;
 
+  // p50/p95/p99 of the same sample set task_duration_summary aggregates,
+  // estimated through a telemetry::Histogram so the Table-2 report
+  // exercises the identical bucket-interpolation path the SLO engine's
+  // summaries use. n = 0 when no completed records match.
+  struct TaskQuantiles {
+    std::size_t n = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  TaskQuantiles task_duration_quantiles(const std::string& flow_name,
+                                        const std::string& task_name,
+                                        std::size_t last_n = 100) const;
+
   // Distinct task names seen for a flow, in first-seen order (drives
   // per-task report tables).
   std::vector<std::string> task_names(const std::string& flow_name) const;

@@ -33,6 +33,20 @@ sim::Future<sim::Unit> ComputeAdapter::ensure_available_impl() {
 void ComputeAdapter::record_job_telemetry(const ReconJob& job,
                                           const ReconJobOutcome& outcome) {
   auto& tel = telemetry::global();
+  if (tel.observing() && outcome.started_at >= outcome.submitted_at) {
+    // Queue-wait health per facility: an outage holds submissions at the
+    // gate, so the wait itself is the observable symptom (detection
+    // happens when held jobs finally report back).
+    telemetry::MonitorEvent ev;
+    ev.t = std::max(outcome.finished_at, outcome.submitted_at);
+    ev.component = "hpc";
+    ev.kind = "queue_wait";
+    ev.target = outcome.facility;
+    ev.value = outcome.queue_wait();
+    ev.ok = outcome.status.ok();
+    ev.detail = outcome.status.ok() ? "" : outcome.status.error().code;
+    tel.emit(ev);
+  }
   if (!tel.enabled()) return;
   const std::string fac_label = "facility=\"" + outcome.facility + "\"";
   tel.metrics().counter("alsflow_hpc_jobs_total", fac_label).add();

@@ -1,0 +1,61 @@
+// Bounded flight recorder: the recent past, kept on hand for incidents.
+//
+// Ring buffers of the latest monitor events and log records, plus a
+// metrics watermark, fill continuously at negligible cost. When an alert
+// fires, snapshot() freezes everything relevant into one self-contained
+// JSON document — the alert, the event ring, the log ring, the tail of
+// the span stream, and every metric series that moved since the previous
+// snapshot — so each incident ships its own evidence instead of asking an
+// operator to correlate four dump files after the fact.
+//
+// Thread-safe: rings are fed from the sim thread and (for serve events and
+// logs) pool threads; HealthMonitor also snapshots from whatever thread
+// the firing event arrived on.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/telemetry.hpp"
+#include "common/thread_safety.hpp"
+#include "monitor/slo.hpp"
+
+namespace alsflow::monitor {
+
+class FlightRecorder {
+ public:
+  struct Config {
+    std::size_t event_capacity = 256;  // monitor-event ring slots
+    std::size_t log_capacity = 128;    // log-record ring slots
+    std::size_t span_tail = 48;        // spans quoted per snapshot
+  };
+
+  FlightRecorder() = default;
+  explicit FlightRecorder(Config cfg) : cfg_(cfg) {}
+
+  void record_event(const telemetry::MonitorEvent& ev);
+  void record_log(const LogRecord& rec);
+
+  // Freeze the current rings around `alert` into one JSON document. Spans
+  // and metrics are read from telemetry::global(); metric deltas are
+  // relative to the previous snapshot (all current values on the first).
+  std::string snapshot(const Alert& alert, double now);
+
+  std::size_t events_recorded() const;
+  std::size_t logs_recorded() const;
+
+ private:
+  Config cfg_;
+  mutable Mutex m_;
+  std::deque<telemetry::MonitorEvent> events_ ALSFLOW_GUARDED_BY(m_);
+  std::deque<LogRecord> logs_ ALSFLOW_GUARDED_BY(m_);
+  std::map<std::string, double> last_metrics_ ALSFLOW_GUARDED_BY(m_);
+  std::size_t events_seen_ ALSFLOW_GUARDED_BY(m_) = 0;
+  std::size_t logs_seen_ ALSFLOW_GUARDED_BY(m_) = 0;
+};
+
+}  // namespace alsflow::monitor

@@ -1,0 +1,422 @@
+#include "monitor/slo.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace alsflow::monitor {
+
+const char* severity_name(Severity s) {
+  return s == Severity::Page ? "PAGE" : "TICKET";
+}
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  std::string s(buf);
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+bool more_severe(Severity a, Severity b) {
+  return a == Severity::Page && b == Severity::Ticket;
+}
+
+}  // namespace
+
+std::string Alert::render() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "[%-6s] %-24s target=%-24s stage=%-14s fired %8.1fs  "
+                "burn %.1fx/%.1fx over %.0fs%s%s%s  %s",
+                severity_name(severity), slo.c_str(), target.c_str(),
+                stage.c_str(), fired_at, burn_long, burn_short, window,
+                detail.empty() ? "" : "  (", detail.c_str(),
+                detail.empty() ? "" : ")",
+                active() ? "[active]"
+                         : ("[resolved " + fmt_double(resolved_at) + "s]")
+                               .c_str());
+  return buf;
+}
+
+std::string Alert::json() const {
+  using telemetry::json_escape;
+  std::string out = "{";
+  out += "\"id\": " + std::to_string(id);
+  out += ", \"slo\": \"" + json_escape(slo) + "\"";
+  out += ", \"target\": \"" + json_escape(target) + "\"";
+  out += ", \"stage\": \"" + json_escape(stage) + "\"";
+  out += ", \"severity\": \"" + std::string(severity_name(severity)) + "\"";
+  out += ", \"fired_at\": " + fmt_double(fired_at);
+  out += ", \"resolved_at\": " + fmt_double(resolved_at);
+  out += ", \"window_s\": " + fmt_double(window);
+  out += ", \"burn_long\": " + fmt_double(burn_long);
+  out += ", \"burn_short\": " + fmt_double(burn_short);
+  out += ", \"detail\": \"" + json_escape(detail) + "\"";
+  out += "}";
+  return out;
+}
+
+void SloEngine::add(SloSpec spec) {
+  if (spec.value_buckets.empty()) {
+    // Derive summary buckets around the objective (or an indicator scale
+    // for ok-flag specs, whose values are 0/1 success indicators).
+    if (spec.use_ok_flag || spec.objective <= 0.0) {
+      spec.value_buckets = {0.5, 1.0};
+    } else {
+      const double o = spec.objective;
+      spec.value_buckets = {o * 0.125, o * 0.25, o * 0.5, o,
+                            o * 2.0,   o * 4.0,  o * 8.0};
+    }
+  }
+  specs_.push_back(std::move(spec));
+}
+
+SloEngine::Burn SloEngine::burn_rates(const Series& s, const SloSpec& spec,
+                                      const BurnRule& rule,
+                                      Seconds now) const {
+  Burn b;
+  const Seconds long_from = now - rule.window;
+  const Seconds short_from = now - rule.window / kShortDivisor;
+  std::size_t bad_long = 0, n_short = 0, bad_short = 0;
+  std::map<std::string, std::size_t> bad_details;
+  for (const Sample& sm : s.samples) {
+    if (sm.t < long_from) continue;
+    ++b.n_long;
+    if (!sm.good) {
+      ++bad_long;
+      ++bad_details[sm.detail];
+    }
+    if (sm.t >= short_from) {
+      ++n_short;
+      if (!sm.good) ++bad_short;
+    }
+  }
+  const double budget = std::max(1.0 - spec.target_fraction, 1e-9);
+  if (b.n_long > 0) {
+    b.burn_long = (double(bad_long) / double(b.n_long)) / budget;
+  }
+  if (n_short > 0) {
+    b.burn_short = (double(bad_short) / double(n_short)) / budget;
+  }
+  // Dominant failure cause: most frequent bad-sample detail, ties broken
+  // lexicographically (std::map iteration order) for determinism.
+  std::size_t best = 0;
+  for (const auto& [detail, n] : bad_details) {
+    if (n > best) {
+      best = n;
+      b.detail = detail;
+    }
+  }
+  return b;
+}
+
+std::optional<std::pair<BurnRule, SloEngine::Burn>> SloEngine::firing(
+    const Series& s, const SloSpec& spec, Seconds now) const {
+  std::optional<std::pair<BurnRule, Burn>> out;
+  for (const BurnRule& rule : spec.rules) {
+    Burn b = burn_rates(s, spec, rule, now);
+    if (b.n_long < std::max<std::size_t>(spec.min_samples, 1)) continue;
+    if (b.burn_long < rule.burn_threshold) continue;
+    if (b.burn_short < rule.burn_threshold) continue;
+    if (!out || more_severe(rule.severity, out->first.severity)) {
+      out = {rule, b};
+    }
+  }
+  return out;
+}
+
+void SloEngine::evaluate(const SeriesKey& key, Seconds now,
+                         std::vector<Alert>* fired) {
+  const SloSpec& spec = specs_[key.first];
+  Series& s = series_[key];
+  auto f = firing(s, spec, now);
+  if (!f) {
+    if (s.active_alert >= 0) {
+      history_[std::size_t(s.active_alert)].resolved_at = now;
+      s.active_alert = -1;
+    }
+    return;
+  }
+  if (s.active_alert >= 0) {
+    Alert& cur = history_[std::size_t(s.active_alert)];
+    if (!more_severe(f->first.severity, cur.severity)) return;
+    // Escalation (Ticket -> Page): close the ticket, open a page.
+    cur.resolved_at = now;
+    s.active_alert = -1;
+  }
+  Alert a;
+  a.id = history_.size() + 1;
+  a.slo = spec.name;
+  a.target = key.second;
+  a.stage = spec.stage;
+  a.severity = f->first.severity;
+  a.fired_at = now;
+  a.window = f->first.window;
+  a.burn_long = f->second.burn_long;
+  a.burn_short = f->second.burn_short;
+  a.detail = f->second.detail;
+  s.active_alert = std::int64_t(history_.size());
+  history_.push_back(a);
+  if (fired != nullptr) fired->push_back(a);
+}
+
+std::vector<Alert> SloEngine::ingest(const telemetry::MonitorEvent& ev) {
+  std::vector<Alert> fired;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const SloSpec& spec = specs_[i];
+    if (spec.component != ev.component || spec.kind != ev.kind) continue;
+    const std::string& target =
+        spec.per_target ? ev.target : spec.service_target;
+    SeriesKey key{i, target};
+    Series& s = series_[key];
+    if (!s.values) {
+      s.values = std::make_unique<telemetry::Histogram>(spec.value_buckets);
+    }
+    Sample sm;
+    sm.t = ev.t;
+    sm.value = ev.value;
+    sm.good = spec.use_ok_flag
+                  ? ev.ok
+                  : (spec.higher_is_better ? ev.value >= spec.objective
+                                           : ev.value <= spec.objective);
+    sm.detail = ev.detail;
+    s.samples.push_back(std::move(sm));
+    s.values->observe(ev.value);
+    // Bound memory: drop samples older than the longest window anyone
+    // reads — rule windows for alerting, and health()'s one-hour floor.
+    Seconds longest = 3600.0;
+    for (const BurnRule& r : spec.rules) longest = std::max(longest, r.window);
+    while (!s.samples.empty() && s.samples.front().t < ev.t - longest) {
+      s.samples.pop_front();
+    }
+    evaluate(key, ev.t, &fired);
+  }
+  return fired;
+}
+
+const Alert& SloEngine::raise(std::string slo, std::string target,
+                              std::string stage, Severity severity,
+                              Seconds at, std::string detail) {
+  Alert a;
+  a.id = history_.size() + 1;
+  a.slo = std::move(slo);
+  a.target = std::move(target);
+  a.stage = std::move(stage);
+  a.severity = severity;
+  a.fired_at = at;
+  a.detail = std::move(detail);
+  history_.push_back(std::move(a));
+  return history_.back();
+}
+
+void SloEngine::sweep(Seconds now) {
+  for (auto& [key, s] : series_) {
+    if (s.active_alert < 0) continue;
+    if (!firing(s, specs_[key.first], now)) {
+      history_[std::size_t(s.active_alert)].resolved_at = now;
+      s.active_alert = -1;
+    }
+  }
+}
+
+std::vector<Alert> SloEngine::active_alerts() const {
+  std::vector<Alert> out;
+  for (const Alert& a : history_) {
+    if (a.active()) out.push_back(a);
+  }
+  return out;
+}
+
+double SloEngine::health(const std::string& target, Seconds now) const {
+  double worst = 1.0;
+  for (const auto& [key, s] : series_) {
+    if (key.second != target) continue;
+    const SloSpec& spec = specs_[key.first];
+    Seconds window = 3600.0;
+    for (const BurnRule& r : spec.rules) window = std::max(window, r.window);
+    std::size_t n = 0, good = 0;
+    for (const Sample& sm : s.samples) {
+      if (sm.t < now - window) continue;
+      ++n;
+      if (sm.good) ++good;
+    }
+    if (n > 0) worst = std::min(worst, double(good) / double(n));
+  }
+  for (const Alert& a : history_) {
+    if (!a.active() || a.target != target) continue;
+    worst *= a.severity == Severity::Page ? 0.5 : 0.75;
+  }
+  return std::max(worst, 0.0);
+}
+
+std::map<std::string, double> SloEngine::health_scores(Seconds now) const {
+  std::map<std::string, double> out;
+  for (const auto& [key, s] : series_) out[key.second] = 0.0;
+  for (const Alert& a : history_) {
+    if (a.active()) out[a.target] = 0.0;
+  }
+  for (auto& [target, score] : out) score = health(target, now);
+  return out;
+}
+
+std::string SloEngine::summary(Seconds now) const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "  %-24s %-24s %6s %6s %10s %10s %10s  %s\n",
+                "slo", "target", "n", "good%", "p50", "p95", "p99", "state");
+  out += line;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const SloSpec& spec = specs_[i];
+    for (const auto& [key, s] : series_) {
+      if (key.first != i) continue;
+      Seconds window = 0.0;
+      for (const BurnRule& r : spec.rules) window = std::max(window, r.window);
+      if (window <= 0.0) window = 3600.0;
+      std::size_t n = 0, good = 0;
+      for (const Sample& sm : s.samples) {
+        if (sm.t < now - window) continue;
+        ++n;
+        if (sm.good) ++good;
+      }
+      const char* state = "ok";
+      if (s.active_alert >= 0) {
+        state = severity_name(history_[std::size_t(s.active_alert)].severity);
+      }
+      std::snprintf(line, sizeof line,
+                    "  %-24s %-24s %6zu %5.1f%% %10.3g %10.3g %10.3g  %s\n",
+                    spec.name.c_str(), key.second.c_str(), n,
+                    n > 0 ? 100.0 * double(good) / double(n) : 100.0,
+                    s.values->quantile(0.50), s.values->quantile(0.95),
+                    s.values->quantile(0.99), state);
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::vector<SloSpec> default_slos(const DefaultSloConfig& cfg) {
+  const std::vector<BurnRule> rules = {
+      {cfg.fast_window, cfg.fast_burn, Severity::Page},
+      {cfg.slow_window, cfg.slow_burn, Severity::Ticket},
+  };
+  std::vector<SloSpec> out;
+
+  SloSpec s;
+  s.name = "link_delivery_slowdown";
+  s.component = "net";
+  s.kind = "delivery";
+  s.stage = "transfer";
+  s.objective = cfg.link_slowdown_objective;
+  s.target_fraction = cfg.link_target_fraction;
+  s.min_samples = cfg.min_samples;
+  s.rules = rules;
+  s.value_buckets = {1, 2, 4, 8, 16, 32, 64, 128};
+  out.push_back(s);
+
+  s = SloSpec{};
+  s.name = "transfer_goodput";
+  s.component = "transfer";
+  s.kind = "transfer_done";
+  s.stage = "transfer";
+  s.objective = cfg.goodput_floor_bps;
+  s.higher_is_better = true;
+  s.target_fraction = cfg.goodput_target_fraction;
+  s.min_samples = cfg.min_samples;
+  s.rules = rules;
+  s.value_buckets = {1e6, 1e7, 5e7, 1e8, 5e8, 1e9, 5e9};
+  out.push_back(s);
+
+  s = SloSpec{};
+  s.name = "transfer_reliability";
+  s.component = "transfer";
+  s.kind = "file_attempt";
+  s.stage = "transfer";
+  s.use_ok_flag = true;
+  s.target_fraction = cfg.file_target_fraction;
+  s.min_samples = cfg.min_samples;
+  s.rules = rules;
+  out.push_back(s);
+
+  s = SloSpec{};
+  s.name = "endpoint_availability";
+  s.component = "transfer";
+  s.kind = "endpoint_write";
+  s.stage = "transfer";
+  s.use_ok_flag = true;
+  s.target_fraction = cfg.endpoint_target_fraction;
+  s.min_samples = cfg.min_samples;
+  s.rules = rules;
+  out.push_back(s);
+
+  s = SloSpec{};
+  s.name = "facility_queue_wait";
+  s.component = "hpc";
+  s.kind = "queue_wait";
+  s.stage = "facility_queue";
+  s.objective = cfg.queue_wait_objective;
+  s.target_fraction = cfg.queue_wait_target_fraction;
+  s.min_samples = cfg.min_samples;
+  s.rules = rules;
+  s.value_buckets = {5, 15, 30, 60, 120, 300, 600, 1800, 3600};
+  out.push_back(s);
+
+  s = SloSpec{};
+  s.name = "flow_completion";
+  s.component = "flow";
+  s.kind = "run_done";
+  s.stage = "orchestrate";
+  s.per_target = false;
+  s.service_target = "orchestrator";
+  s.use_ok_flag = true;
+  s.target_fraction = cfg.flow_target_fraction;
+  s.min_samples = cfg.min_samples;
+  s.rules = rules;
+  s.value_buckets = {60, 120, 300, 600, 1200, 2400, 4800};
+  out.push_back(s);
+
+  s = SloSpec{};
+  s.name = "scan_e2e_latency";
+  s.component = "scan";
+  s.kind = "e2e";
+  s.stage = "end_to_end";
+  s.per_target = false;
+  s.service_target = "beamline";
+  s.objective = cfg.scan_e2e_objective;
+  s.target_fraction = cfg.scan_target_fraction;
+  s.min_samples = cfg.min_samples;
+  s.rules = rules;
+  out.push_back(s);
+
+  s = SloSpec{};
+  s.name = "time_to_first_slice";
+  s.component = "streaming";
+  s.kind = "first_slice";
+  s.stage = "streaming";
+  s.per_target = false;
+  s.service_target = "beamline";
+  s.objective = cfg.first_slice_objective;
+  s.target_fraction = cfg.first_slice_target_fraction;
+  s.min_samples = cfg.min_samples;
+  s.rules = rules;
+  s.value_buckets = {1, 5, 10, 20, 40, 60, 120, 300};
+  out.push_back(s);
+
+  s = SloSpec{};
+  s.name = "serve_queue_wait";
+  s.component = "serve";
+  s.kind = "queue_wait";
+  s.stage = "serve";
+  s.objective = cfg.serve_wait_objective;
+  s.target_fraction = cfg.serve_target_fraction;
+  s.min_samples = cfg.min_samples;
+  s.rules = rules;
+  s.value_buckets = {0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 1.0};
+  out.push_back(s);
+
+  return out;
+}
+
+}  // namespace alsflow::monitor

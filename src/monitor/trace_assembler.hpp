@@ -1,0 +1,86 @@
+// ScanTraceAssembler: end-to-end provenance records per scan.
+//
+// The tracer records spans per component — flow runs, task attempts,
+// transfers, HPC jobs, streaming sessions — but a beamline operator asks a
+// per-scan question: where did scan-017 spend its time between the shutter
+// closing and the volume publishing? The assembler stitches a span
+// snapshot into one ScanTrace per scan: every root span is attributed to a
+// scan (flow roots by their `parameters` attribute, which carries the scan
+// id; streaming roots by their "stream:<scan id>" name; scan roots by
+// their `scan_id` attribute), descendants inherit the root's scan, and
+// each span's *self* time (duration minus children) is charged to exactly
+// one pipeline stage:
+//
+//   acquisition     detector integration; streaming-session residue
+//   transfer        Globus tasks and the streaming preview return
+//   facility_queue  HPC scheduler queue wait
+//   recon           HPC execute phase and streaming GPU backprojection
+//   publish         SciCat ingest/derived registration, volume publication
+//   orchestrate     flow/task overhead: pool waits, submit/poll residue
+//
+// so per-stage seconds sum to per-branch busy time with no double
+// counting. Only Sim-domain spans participate: wall-domain spans (pool
+// batches, serve renders) are real-compute measurements whose timings and
+// interleavings vary run to run, while the sim-domain trace — and hence
+// every assembled ScanTrace — is byte-deterministic for a fixed seed.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/telemetry.hpp"
+#include "common/units.hpp"
+
+namespace alsflow::monitor {
+
+// Canonical stage order for rendering and JSON.
+extern const char* const kStages[6];
+
+// One flow run participating in a scan.
+struct FlowLeg {
+  std::string flow;    // flow name
+  std::string run_id;
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  Seconds duration() const { return end >= start ? end - start : 0.0; }
+};
+
+struct ScanTrace {
+  std::string scan_id;
+  Seconds started = 0.0;   // earliest span start attributed to the scan
+  Seconds finished = 0.0;  // latest span end
+  std::vector<FlowLeg> legs;              // flow-root order
+  std::map<std::string, Seconds> stages;  // stage -> attributed seconds
+
+  Seconds end_to_end() const { return finished - started; }
+  Seconds stage_seconds(const std::string& stage) const;
+};
+
+class ScanTraceAssembler {
+ public:
+  // Assemble from a span snapshot (e.g. telemetry::global().tracer()
+  // .spans()). Wall-domain spans and spans with no scan attribution are
+  // ignored.
+  explicit ScanTraceAssembler(const std::vector<telemetry::SpanRecord>& spans);
+
+  // Traces in first-seen (deterministic) order.
+  const std::vector<ScanTrace>& traces() const { return traces_; }
+  const ScanTrace* scan(const std::string& scan_id) const;
+  const ScanTrace* run(const std::string& run_id) const;  // by flow run
+
+  // Pipeline stage charged with `span`'s self time; "" = not attributed
+  // (e.g. the scan umbrella span, whose children and sibling flow roots
+  // already account for the time). Exposed for tests.
+  static std::string stage_of(const telemetry::SpanRecord& span);
+
+  std::string render(const ScanTrace& t) const;  // one human-readable line
+  std::string json() const;                      // all traces, JSON array
+
+ private:
+  std::vector<ScanTrace> traces_;
+  std::map<std::string, std::size_t> by_scan_;
+  std::map<std::string, std::size_t> by_run_;
+};
+
+}  // namespace alsflow::monitor

@@ -77,10 +77,29 @@ void Link::on_completion_event() {
   for (auto it = active_.begin(); it != active_.end();) {
     if (it->remaining <= 0.5) {
       auto done = it->done;
-      it = active_.erase(it);
       // Deliver after propagation latency (plus any chaos recall spike in
       // effect at delivery time).
       const Seconds deliver = latency_ + extra_latency_;
+      {
+        // Per-delivery slowdown: achieved time over the contention-free,
+        // healthy-link time. ~n under n-way fair sharing; far above that
+        // under degradation, blackout stalls, or recall spikes. Stamped
+        // with the delivery time (no event is scheduled for it).
+        auto& tel = telemetry::global();
+        if (tel.observing() && it->bytes > 0.5) {
+          const double expected = it->bytes / bandwidth_ + latency_;
+          telemetry::MonitorEvent ev;
+          ev.t = eng_.now() + deliver;
+          ev.component = "net";
+          ev.kind = "delivery";
+          ev.target = name_;
+          ev.value = expected > 0.0
+                         ? (eng_.now() - it->started + deliver) / expected
+                         : 1.0;
+          tel.emit(ev);
+        }
+      }
+      it = active_.erase(it);
       if (deliver > 0.0) {
         eng_.schedule_in(deliver, [done]() mutable { done.trigger(); });
       } else {
@@ -107,6 +126,8 @@ sim::Future<sim::Unit> Link::send(Bytes bytes) {
   }
   Transfer t;
   t.remaining = double(bytes);
+  t.bytes = double(bytes);
+  t.started = eng_.now();
   active_.push_back(t);
   auto done = active_.back().done;
   if (bytes == 0) {

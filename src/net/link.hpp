@@ -58,6 +58,8 @@ class Link {
  private:
   struct Transfer {
     double remaining;  // bytes still to move
+    double bytes = 0.0;       // original payload size
+    Seconds started = 0.0;    // when the send entered the link
     sim::Event<sim::Unit> done;
   };
 

@@ -523,11 +523,28 @@ sim::Future<ScanOutcome> Facility::process_scan_impl(data::ScanMetadata scan,
   scans_[scan.scan_id] = scan;
   write_done_.emplace(scan.scan_id, sim::Event<std::string>());
 
+  // Umbrella scan span: the per-scan provenance anchor the trace
+  // assembler keys on (flow runs remain separate roots linked to it by
+  // their scan-id parameters).
+  auto& tel = telemetry::global();
+  telemetry::SpanId scan_span = 0;
+  if (tel.enabled()) {
+    scan_span = tel.tracer().begin("scan", scan.scan_id, 0,
+                                   telemetry::ClockDomain::Sim, eng_.now());
+    tel.tracer().attr(scan_span, "scan_id", scan.scan_id);
+  }
+
   file_writer_.begin_scan(scan);
   if (options.streaming) streaming_.begin_scan(scan);
 
+  telemetry::SpanId acq_span = 0;
+  if (scan_span != 0) {
+    acq_span = tel.tracer().begin("scan", "acquisition", scan_span,
+                                  telemetry::ClockDomain::Sim, eng_.now());
+  }
   // Acquisition (frames fan out to the file-writer and streaming service).
   scan = co_await detector_.acquire(std::move(scan));
+  if (acq_span != 0) tel.tracer().end(acq_span, eng_.now());
   outcome.scan = scan;
 
   // Wait for the file-writer to finish saving the HDF5 file.
@@ -559,6 +576,21 @@ sim::Future<ScanOutcome> Facility::process_scan_impl(data::ScanMetadata scan,
   }
 
   outcome.finished_at = eng_.now();
+  if (scan_span != 0) tel.tracer().end(scan_span, eng_.now());
+  if (tel.observing()) {
+    telemetry::MonitorEvent ev;
+    ev.t = eng_.now();
+    ev.component = "scan";
+    ev.kind = "e2e";
+    ev.target = scan.scan_id;
+    ev.value = outcome.finished_at - outcome.started_at;
+    ev.ok = outcome.new_file_status.ok() &&
+            (!outcome.nersc ||
+             outcome.nersc->state == flow::RunState::Completed) &&
+            (!outcome.alcf ||
+             outcome.alcf->state == flow::RunState::Completed);
+    tel.emit(ev);
+  }
   ++scans_completed_;
   outcomes_.push_back(outcome);
   write_done_.erase(scan.scan_id);

@@ -110,6 +110,16 @@ sim::Proc StreamingService::finalize(std::string scan_id) {
         .observe(report.preview_latency());
     tel.metrics().counter("alsflow_streaming_previews_total").add();
   }
+  if (tel.observing()) {
+    // Time-to-first-slice, the streaming paper's headline SLO.
+    telemetry::MonitorEvent ev;
+    ev.t = eng_.now();
+    ev.component = "streaming";
+    ev.kind = "first_slice";
+    ev.target = scan_id;
+    ev.value = report.preview_latency();
+    tel.emit(ev);
+  }
   log_info("streaming") << scan_id << ": preview in "
                         << human_duration(report.preview_latency())
                         << " after acquisition";

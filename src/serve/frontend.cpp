@@ -371,6 +371,17 @@ void Frontend::render_and_fulfill(Queued item, double dequeued_at,
     sm.queue_wait.observe(dequeued_at - item.enqueued_at);
     sm.render.observe(t1 - t0);
   }
+  if (tel.observing()) {
+    // Per-tenant queue-wait health on the frontend's injected clock (sim
+    // time in tests, wall time in live deployments).
+    telemetry::MonitorEvent ev;
+    ev.t = dequeued_at;
+    ev.component = "serve";
+    ev.kind = "queue_wait";
+    ev.target = req.tenant.empty() ? "anonymous" : req.tenant;
+    ev.value = dequeued_at - item.enqueued_at;
+    tel.emit(ev);
+  }
 
   if (!lookup.image.ok()) {
     {

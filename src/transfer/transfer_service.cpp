@@ -57,6 +57,22 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
 
   co_await sim::delay(eng_, tuning_.per_task_overhead);
 
+  const std::string route_name = spec.src->name() + "->" + spec.dst->name();
+  // Per-file-attempt health events: value is a 0/1 success indicator, so a
+  // window's mean is the observed attempt reliability on this route.
+  auto emit_attempt = [&](bool ok, const std::string& detail) {
+    if (!tel.observing()) return;
+    telemetry::MonitorEvent ev;
+    ev.t = eng_.now();
+    ev.component = "transfer";
+    ev.kind = "file_attempt";
+    ev.target = route_name;
+    ev.value = ok ? 1.0 : 0.0;
+    ev.ok = ok;
+    ev.detail = detail;
+    tel.emit(ev);
+  };
+
   Error first_error{"", ""};
   std::string stranded_path;
   for (const auto& file : spec.files) {
@@ -92,6 +108,7 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
           rng_.bernoulli(transient_failure_rate_)) {
         log_warn("globus") << spec.label << ": transient fault moving "
                            << file.src_path << " (attempt " << attempt << ")";
+        emit_attempt(false, "transient");
         continue;  // nothing landed; retry
       }
 
@@ -102,8 +119,23 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
       const std::uint64_t landed_checksum = corrupted ? ~checksum : checksum;
       Status put = spec.dst->put(file.dst_path, size, landed_checksum,
                                  eng_.now());
+      if (tel.observing()) {
+        // Destination-write health, attributed to the endpoint itself
+        // (permission and capacity incidents are endpoint problems, not
+        // route problems).
+        telemetry::MonitorEvent ev;
+        ev.t = eng_.now();
+        ev.component = "transfer";
+        ev.kind = "endpoint_write";
+        ev.target = spec.dst->name();
+        ev.value = put.ok() ? 1.0 : 0.0;
+        ev.ok = put.ok();
+        ev.detail = put.ok() ? "" : put.error().code;
+        tel.emit(ev);
+      }
       if (!put.ok()) {
         if (first_error.code.empty()) first_error = put.error();
+        emit_attempt(false, put.error().code);
         break;  // permission/capacity: permanent, no retry
       }
       corrupt_copy_at_dst = corrupted;
@@ -115,11 +147,13 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
           log_warn("globus") << spec.label << ": checksum mismatch on "
                              << file.dst_path << " (attempt " << attempt
                              << ")";
+          emit_attempt(false, "checksum_mismatch");
           continue;  // corrupted copy stays until overwritten by the retry
         }
       }
       file_ok = true;
       outcome.bytes_moved += size;
+      emit_attempt(true, "");
       break;
     }
     if (file_ok) {
@@ -159,6 +193,21 @@ sim::Future<TransferOutcome> TransferService::submit_impl(TransferSpec spec) {
     outcome.status = Error::make("stranded_corrupt_copy", stranded_path);
   }
   outcome.finished_at = eng_.now();
+  if (tel.observing()) {
+    // Whole-task goodput: payload bytes over wall (sim) duration,
+    // retries/backoff included — the figure the paper's bandwidth panels
+    // plot per route.
+    telemetry::MonitorEvent ev;
+    ev.t = eng_.now();
+    ev.component = "transfer";
+    ev.kind = "transfer_done";
+    ev.target = route_name;
+    const Seconds took = outcome.finished_at - outcome.submitted_at;
+    ev.value = took > 0.0 ? double(outcome.bytes_moved) / took : 0.0;
+    ev.ok = outcome.status.ok();
+    ev.detail = outcome.status.ok() ? "" : outcome.status.error().code;
+    tel.emit(ev);
+  }
   finish_telemetry(span, route_label, outcome);
   record_outcome(outcome);
   co_return outcome;

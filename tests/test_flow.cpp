@@ -113,6 +113,36 @@ TEST(RunDb, TaskDurationSummaryLastN) {
   EXPECT_DOUBLE_EQ(s.min, 8.0);
 }
 
+TEST(RunDb, TaskDurationQuantilesMatchSummarySampleSet) {
+  RunDatabase db;
+  auto id = db.create_run("f", 0.0);
+  for (int i = 0; i < 100; ++i) {
+    TaskRunRecord rec;
+    rec.flow_run_id = id;
+    rec.task_name = "t";
+    rec.state = RunState::Completed;
+    rec.started_at = 0.0;
+    rec.finished_at = double(i + 1);  // durations 1..100
+    db.record_task(rec);
+  }
+  auto q = db.task_duration_quantiles("f", "t");
+  EXPECT_EQ(q.n, 100u);
+  // Bucket-interpolated estimates: loose bounds around the exact ranks.
+  EXPECT_GT(q.p50, 20.0);
+  EXPECT_LT(q.p50, 80.0);
+  EXPECT_GE(q.p95, q.p50);
+  EXPECT_GE(q.p99, q.p95);
+  // Interior buckets interpolate toward their upper bound, so the estimate
+  // is capped by the containing bucket's edge (160 s), not the exact max.
+  EXPECT_LE(q.p99, 160.0);
+  // last_n windows the same way the summary does.
+  EXPECT_EQ(db.task_duration_quantiles("f", "t", 10).n, 10u);
+  // No matching records: all-zero result.
+  auto none = db.task_duration_quantiles("f", "missing");
+  EXPECT_EQ(none.n, 0u);
+  EXPECT_DOUBLE_EQ(none.p99, 0.0);
+}
+
 TEST(FlowEngine, RunsRegisteredFlow) {
   World w;
   bool ran = false;

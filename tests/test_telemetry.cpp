@@ -181,6 +181,74 @@ TEST_F(TelemetryTest, HistogramUnsortedBoundsAreSorted) {
   EXPECT_DOUBLE_EQ(h.bounds()[2], 10.0);
 }
 
+TEST_F(TelemetryTest, QuantileEmptyHistogramIsZero) {
+  Histogram h({1.0, 5.0, 10.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST_F(TelemetryTest, QuantileSingleBucketInterpolatesLinearly) {
+  // All samples land in the first bucket [0, 10]: the estimator
+  // interpolates between min(0, observed min) and the bucket's upper
+  // bound, so rank fraction maps linearly onto [0, 10].
+  Histogram h({10.0});
+  for (double v : {2.0, 4.0, 6.0, 8.0}) h.observe(v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST_F(TelemetryTest, QuantileOverflowBucketInterpolatesTowardMax) {
+  // Three samples in the +Inf bucket: its upper edge is the exact observed
+  // max, so the estimate never leaves the observed range.
+  Histogram h({1.0});
+  h.observe(0.5);
+  h.observe(10.0);
+  h.observe(20.0);
+  h.observe(30.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 30.0);
+  // target = 0.625*4 = 2.5 ranks -> 1.5 ranks into the overflow bucket of
+  // 3: lo=1 (last bound), hi=30 (max), frac=0.5.
+  EXPECT_DOUBLE_EQ(h.quantile(0.625), 1.0 + (30.0 - 1.0) * 0.5);
+  EXPECT_LE(h.quantile(0.99), 30.0);
+}
+
+TEST_F(TelemetryTest, QuantileClampsArgumentAndTracksNegativeMin) {
+  Histogram h({1.0});
+  h.observe(-3.0);
+  h.observe(0.5);
+  // q outside [0, 1] clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(h.quantile(-2.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+  // The first bucket's lower edge follows the observed (negative) min.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), -3.0);
+}
+
+TEST_F(TelemetryTest, NumericValuesFlattensEverySeries) {
+  auto& m = global().metrics();
+  m.counter("nv_jobs_total").add(3);
+  m.gauge("nv_depth", "facility=\"nersc\"").set(2.5);
+  Histogram& h = m.histogram("nv_wait_seconds", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(4.0);
+  const auto values = m.numeric_values();
+  auto find = [&](const std::string& name) -> const double* {
+    for (const auto& [n, v] : values) {
+      if (n == name) return &v;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find("nv_jobs_total"), nullptr);
+  EXPECT_DOUBLE_EQ(*find("nv_jobs_total"), 3.0);
+  ASSERT_NE(find("nv_depth{facility=\"nersc\"}"), nullptr);
+  EXPECT_DOUBLE_EQ(*find("nv_depth{facility=\"nersc\"}"), 2.5);
+  ASSERT_NE(find("nv_wait_seconds_count"), nullptr);
+  EXPECT_DOUBLE_EQ(*find("nv_wait_seconds_count"), 2.0);
+  ASSERT_NE(find("nv_wait_seconds_sum"), nullptr);
+  EXPECT_DOUBLE_EQ(*find("nv_wait_seconds_sum"), 4.5);
+}
+
 TEST_F(TelemetryTest, ConcurrentCounterIncrementsFromThreadPool) {
   parallel::ThreadPool pool(4);
   Counter& c = global().metrics().counter("test_concurrent_total");
