@@ -56,7 +56,7 @@ class TiledService {
   std::shared_ptr<const data::MultiscaleVolume> volume_locked(
       const std::string& key) const ALSFLOW_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTiledService, "access.tiled"};
   std::map<std::string, std::shared_ptr<const data::MultiscaleVolume>>
       volumes_ ALSFLOW_GUARDED_BY(mu_);
   Bytes bytes_served_ ALSFLOW_GUARDED_BY(mu_) = 0;

@@ -1,0 +1,147 @@
+#include "common/lock_rank.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define ALSFLOW_LOCK_RANK_BACKTRACE 1
+#endif
+#endif
+
+namespace alsflow::lockrank {
+
+namespace {
+
+// Fixed-capacity per-thread stack: no allocation on the lock path and no
+// malloc inside the abort handler. Holding this many tracked locks at
+// once is itself a bug worth aborting on.
+constexpr std::size_t kMaxHeld = 32;
+
+struct Held {
+  const void* mx = nullptr;
+  int rank = 0;
+  const char* name = nullptr;
+};
+
+thread_local Held t_held[kMaxHeld];
+thread_local std::size_t t_depth = 0;
+
+bool initial_enforcing() {
+  // Environment wins over the build default so a release binary can turn
+  // checking on (ALSFLOW_LOCK_RANKS=1) and a sanitizer run can turn it
+  // off (=0) without recompiling.
+  if (const char* v = std::getenv("ALSFLOW_LOCK_RANKS")) {
+    return v[0] != '\0' && v[0] != '0';
+  }
+#ifdef ALSFLOW_LOCK_RANK_DEFAULT_ON
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool>& enforcing_flag() {
+  static std::atomic<bool> flag{initial_enforcing()};
+  return flag;
+}
+
+[[noreturn]] void violation(const char* what, int rank, const char* name) {
+  // Witness first, backtrace second, then abort. fprintf (not iostream):
+  // this can fire under arbitrary locks and must not allocate or re-enter
+  // the logging layer, whose own mutex is tracked.
+  std::fprintf(stderr,
+               "\nalsflow lock-rank violation: %s\n"
+               "  attempted: acquire \"%s\" (rank %d)\n"
+               "  held by this thread (outermost first):\n",
+               what, name != nullptr ? name : "?", rank);
+  for (std::size_t i = 0; i < t_depth; ++i) {
+    std::fprintf(stderr, "    [%zu] \"%s\" (rank %d)%s\n", i,
+                 t_held[i].name != nullptr ? t_held[i].name : "?",
+                 t_held[i].rank,
+                 t_held[i].rank <= rank ? "  <-- violates strict descent"
+                                        : "");
+  }
+  std::fprintf(stderr,
+               "  rule: a thread may acquire only mutexes of strictly lower "
+               "rank than every mutex it holds (see DESIGN.md #15)\n");
+#ifdef ALSFLOW_LOCK_RANK_BACKTRACE
+  void* frames[64];
+  const int n = backtrace(frames, 64);
+  backtrace_symbols_fd(frames, n, 2 /* stderr */);
+#endif
+  std::abort();
+}
+
+void push(const void* mx, int rank, const char* name) {
+  if (t_depth >= kMaxHeld) {
+    violation("held-lock stack overflow", rank, name);
+  }
+  t_held[t_depth++] = Held{mx, rank, name};
+}
+
+}  // namespace
+
+bool enforcing() noexcept {
+  return enforcing_flag().load(std::memory_order_relaxed);
+}
+
+void set_enforcing(bool on) noexcept {
+  enforcing_flag().store(on, std::memory_order_relaxed);
+}
+
+std::size_t held_count() noexcept { return t_depth; }
+
+const char* held_name(std::size_t i) noexcept {
+  return i < t_depth ? t_held[i].name : nullptr;
+}
+
+int held_rank(std::size_t i) noexcept {
+  return i < t_depth ? t_held[i].rank : 0;
+}
+
+namespace detail {
+
+void acquire_impl(const void* mx, int rank, const char* name) noexcept {
+  if (!enforcing()) return;
+  for (std::size_t i = 0; i < t_depth; ++i) {
+    if (t_held[i].mx == mx) {
+      violation("recursive acquisition of a non-recursive mutex", rank, name);
+    }
+    if (t_held[i].rank <= rank) {
+      violation(t_held[i].rank == rank ? "same-rank acquisition"
+                                       : "rank inversion",
+                rank, name);
+    }
+  }
+  push(mx, rank, name);
+}
+
+void try_acquire_impl(const void* mx, int rank, const char* name) noexcept {
+  // No rank check: a successful try_lock never blocked, so it cannot be
+  // one edge of a deadlock cycle. Still recorded so later blocking
+  // acquisitions are checked against it.
+  if (!enforcing()) return;
+  push(mx, rank, name);
+}
+
+void release_impl(const void* mx) noexcept {
+  // Usually the top of stack; search downward to tolerate out-of-order
+  // release (UniqueLock early unlock below a later try_lock). A miss is
+  // fine — the lock was acquired while enforcement was off.
+  for (std::size_t i = t_depth; i > 0; --i) {
+    if (t_held[i - 1].mx == mx) {
+      std::memmove(&t_held[i - 1], &t_held[i],
+                   (t_depth - i) * sizeof(Held));
+      --t_depth;
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+}  // namespace alsflow::lockrank

@@ -27,7 +27,8 @@ LogLevel level_from_env() {
 }
 
 std::atomic<LogLevel> g_level{level_from_env()};
-Mutex g_mutex;  // guards g_sink and serializes stderr writes
+Mutex g_mutex{LockRank::kLogSink, "log.sink"};  // guards g_sink and
+                                                // serializes stderr writes
 LogSink g_sink ALSFLOW_GUARDED_BY(g_mutex);
 
 }  // namespace
@@ -65,12 +66,22 @@ void log_line(LogLevel level, const std::string& component,
   rec.level = level;
   rec.component = component;
   rec.message = message;
-  LockGuard lock(g_mutex);
-  if (g_sink) {
-    g_sink(rec);
-  } else {
-    std::fprintf(stderr, "%s\n", format_log_line(rec).c_str());
+  // Copy the sink under the lock, invoke it after release: a sink is user
+  // code (HealthMonitor's records into the flight recorder, which takes a
+  // monitor-layer lock; a sink may even log) and calling it with g_mutex
+  // held self-deadlocks on reentrant logging and inverts the lock order.
+  // The lockless default path keeps stderr writes serialized by holding
+  // g_mutex across fprintf, exactly as before.
+  LogSink sink;
+  {
+    LockGuard lock(g_mutex);
+    if (!g_sink) {
+      std::fprintf(stderr, "%s\n", format_log_line(rec).c_str());
+      return;
+    }
+    sink = g_sink;
   }
+  sink(rec);
 }
 
 }  // namespace alsflow

@@ -94,7 +94,7 @@ class Tracer {
   // Locate an open span by id; nullptr for unknown ids (and id 0).
   SpanRecord* find_locked(SpanId id) ALSFLOW_REQUIRES(m_);
 
-  mutable Mutex m_;
+  mutable Mutex m_{LockRank::kTracer, "telemetry.tracer"};
   std::vector<SpanRecord> spans_ ALSFLOW_GUARDED_BY(m_);
   std::unordered_map<SpanId, std::size_t> index_ ALSFLOW_GUARDED_BY(m_);
   SpanId next_ ALSFLOW_GUARDED_BY(m_) = 1;
@@ -196,7 +196,7 @@ class MetricsRegistry {
 
  private:
   using Key = std::pair<std::string, std::string>;  // (name, labels)
-  mutable Mutex m_;
+  mutable Mutex m_{LockRank::kMetrics, "telemetry.metrics"};
   std::map<Key, std::unique_ptr<Counter>> counters_ ALSFLOW_GUARDED_BY(m_);
   std::map<Key, std::unique_ptr<Gauge>> gauges_ ALSFLOW_GUARDED_BY(m_);
   std::map<Key, std::unique_ptr<Histogram>> histograms_

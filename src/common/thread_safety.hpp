@@ -19,10 +19,20 @@
 //    ALSFLOW_EXCLUDES(mu_) to catch self-deadlock at compile time;
 //  * never hold a LockGuard across a coroutine suspension point — the
 //    resuming thread would not own the lock. Sim-domain services lock in
-//    tight scopes between co_awaits.
+//    tight scopes between co_awaits;
+//  * every Mutex in src/ declares a LockRank and a name (enforced by
+//    tools/alsflow_lockcheck.py); the runtime rank checker in
+//    common/lock_rank.hpp aborts with a witness when a thread acquires a
+//    lock whose rank is not strictly below everything it already holds;
+//  * never invoke a user callback (EventSink::on_event, log sinks,
+//    Ticket::fulfill, watermark probes, any std::function from outside
+//    the class) while holding a lock — snapshot under the lock, call
+//    after release (lockcheck's callback-under-lock rule).
 #pragma once
 
 #include <mutex>
+
+#include "common/lock_rank.hpp"
 
 // Annotation spellings. __has_attribute guards against ancient clangs;
 // GCC and MSVC take the empty expansion.
@@ -66,24 +76,46 @@
 
 namespace alsflow {
 
-// std::mutex with a capability annotation so fields can be GUARDED_BY it.
+// std::mutex with a capability annotation so fields can be GUARDED_BY it,
+// plus a name and LockRank feeding the runtime rank checker. The default
+// constructor makes an unranked (untracked) mutex for tests and scratch
+// code; every mutex in src/ must use the ranked form (lockcheck's
+// unranked-mutex rule).
 class ALSFLOW_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  Mutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() ALSFLOW_ACQUIRE() { m_.lock(); }
-  void unlock() ALSFLOW_RELEASE() { m_.unlock(); }
-  bool try_lock() ALSFLOW_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  void lock() ALSFLOW_ACQUIRE() {
+    // Check before blocking: a rank inversion caught here aborts with a
+    // witness instead of wedging in m_.lock().
+    lockrank::note_acquire(this, rank_, name_);
+    m_.lock();
+  }
+  void unlock() ALSFLOW_RELEASE() {
+    lockrank::note_release(this, rank_);
+    m_.unlock();
+  }
+  bool try_lock() ALSFLOW_TRY_ACQUIRE(true) {
+    if (!m_.try_lock()) return false;
+    lockrank::note_try_acquire(this, rank_, name_);
+    return true;
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
 
   // Underlying mutex, for std::condition_variable interop only (see
   // UniqueLock::native). Callers must not lock/unlock it directly —
-  // that would bypass the analysis.
+  // that would bypass both the analysis and the rank checker.
   std::mutex& native() { return m_; }
 
  private:
   std::mutex m_;
+  const LockRank rank_ = LockRank::kUnranked;
+  const char* const name_ = nullptr;
 };
 
 // std::lock_guard equivalent; the analysis knows the capability is held
@@ -106,28 +138,51 @@ class ALSFLOW_SCOPED_CAPABILITY LockGuard {
 // adopt construction, and condition-variable waits via native().
 class ALSFLOW_SCOPED_CAPABILITY UniqueLock {
  public:
-  explicit UniqueLock(Mutex& m) ALSFLOW_ACQUIRE(m) : lk_(m.native()) {}
+  // Constructed on the native handle (not via Mutex::lock) so native() can
+  // hand std::condition_variable the std::unique_lock it wants; every
+  // acquire/release path below notifies the rank checker itself to keep
+  // the per-thread held stack exact.
+  explicit UniqueLock(Mutex& m) ALSFLOW_ACQUIRE(m)
+      : mu_(&m), lk_(m.native(), std::defer_lock) {
+    lockrank::note_acquire(mu_, mu_->rank(), mu_->name());
+    lk_.lock();
+  }
   UniqueLock(Mutex& m, std::adopt_lock_t) ALSFLOW_REQUIRES(m)
-      : lk_(m.native(), std::adopt_lock) {}
+      : mu_(&m), lk_(m.native(), std::adopt_lock) {}
   UniqueLock(Mutex& m, std::try_to_lock_t) ALSFLOW_TRY_ACQUIRE(true, m)
-      : lk_(m.native(), std::try_to_lock) {}
+      : mu_(&m), lk_(m.native(), std::try_to_lock) {
+    if (lk_.owns_lock()) {
+      lockrank::note_try_acquire(mu_, mu_->rank(), mu_->name());
+    }
+  }
   // Releases the capability if still owned.
-  ~UniqueLock() ALSFLOW_RELEASE() = default;
+  ~UniqueLock() ALSFLOW_RELEASE() {
+    if (lk_.owns_lock()) lockrank::note_release(mu_, mu_->rank());
+  }
 
   UniqueLock(const UniqueLock&) = delete;
   UniqueLock& operator=(const UniqueLock&) = delete;
 
-  void lock() ALSFLOW_ACQUIRE() { lk_.lock(); }
-  void unlock() ALSFLOW_RELEASE() { lk_.unlock(); }
+  void lock() ALSFLOW_ACQUIRE() {
+    lockrank::note_acquire(mu_, mu_->rank(), mu_->name());
+    lk_.lock();
+  }
+  void unlock() ALSFLOW_RELEASE() {
+    lockrank::note_release(mu_, mu_->rank());
+    lk_.unlock();
+  }
   bool owns_lock() const { return lk_.owns_lock(); }
 
   // For std::condition_variable::wait(...). The wait releases and
   // reacquires the mutex internally; from the analysis's point of view the
   // capability is held throughout, which is sound for callers (they hold
   // it both before and after, and the predicate re-check happens locked).
+  // The rank checker likewise keeps the entry on the held stack across the
+  // wait — also sound: a waiting thread cannot acquire anything else.
   std::unique_lock<std::mutex>& native() { return lk_; }
 
  private:
+  Mutex* mu_;
   std::unique_lock<std::mutex> lk_;
 };
 

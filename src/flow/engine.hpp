@@ -264,7 +264,7 @@ class FlowEngine {
   // Flow/task bookkeeping mutates on the single engine thread, but is read
   // by cross-thread observers (tests, exporters); mu_ makes the contract
   // machine-checked instead of conventional. Never held across co_await.
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kFlowEngine, "flow.engine"};
   std::map<std::string, telemetry::SpanId> active_task_spans_
       ALSFLOW_GUARDED_BY(mu_);
   // Successful keys only.

@@ -27,6 +27,7 @@ bool is_terminal(RunState s) {
 
 std::string RunDatabase::create_run(const std::string& flow_name, Seconds now,
                                     std::string parameters) {
+  LockGuard lock(mu_);
   char id[48];
   std::snprintf(id, sizeof id, "run-%06llu",
                 static_cast<unsigned long long>(next_id_++));
@@ -41,18 +42,21 @@ std::string RunDatabase::create_run(const std::string& flow_name, Seconds now,
 }
 
 void RunDatabase::mark_running(const std::string& run_id, Seconds now) {
+  LockGuard lock(mu_);
   auto& rec = runs_.at(run_id);
   rec.state = RunState::Running;
   if (rec.started_at < 0.0) rec.started_at = now;
 }
 
 void RunDatabase::mark_retrying(const std::string& run_id, Seconds /*now*/) {
+  LockGuard lock(mu_);
   runs_.at(run_id).state = RunState::Retrying;
 }
 
 void RunDatabase::mark_finished(const std::string& run_id,
                                 RunState final_state, Seconds now,
                                 const std::string& error) {
+  LockGuard lock(mu_);
   assert(is_terminal(final_state));
   auto& rec = runs_.at(run_id);
   rec.state = final_state;
@@ -61,15 +65,19 @@ void RunDatabase::mark_finished(const std::string& run_id,
 }
 
 void RunDatabase::add_retry(const std::string& run_id) {
+  LockGuard lock(mu_);
   ++runs_.at(run_id).retries;
 }
 
 const FlowRunRecord* RunDatabase::run(const std::string& run_id) const {
+  // The returned pointer targets a map node (stable across inserts);
+  // field reads on a still-running record stay engine-thread-only.
+  LockGuard lock(mu_);
   auto it = runs_.find(run_id);
   return it == runs_.end() ? nullptr : &it->second;
 }
 
-std::vector<FlowRunRecord> RunDatabase::runs(
+std::vector<FlowRunRecord> RunDatabase::runs_locked(
     const std::string& flow_name) const {
   std::vector<FlowRunRecord> out;
   for (const auto& id : order_) {
@@ -79,19 +87,32 @@ std::vector<FlowRunRecord> RunDatabase::runs(
   return out;
 }
 
-std::vector<FlowRunRecord> RunDatabase::runs_in_state(
+std::vector<FlowRunRecord> RunDatabase::runs(
+    const std::string& flow_name) const {
+  LockGuard lock(mu_);
+  return runs_locked(flow_name);
+}
+
+std::vector<FlowRunRecord> RunDatabase::runs_in_state_locked(
     const std::string& flow_name, RunState state) const {
   std::vector<FlowRunRecord> out;
-  for (const auto& rec : runs(flow_name)) {
+  for (const auto& rec : runs_locked(flow_name)) {
     if (rec.state == state) out.push_back(rec);
   }
   return out;
 }
 
+std::vector<FlowRunRecord> RunDatabase::runs_in_state(
+    const std::string& flow_name, RunState state) const {
+  LockGuard lock(mu_);
+  return runs_in_state_locked(flow_name, state);
+}
+
 Summary RunDatabase::duration_summary(const std::string& flow_name,
                                       std::size_t last_n,
                                       RunState state) const {
-  auto matching = runs_in_state(flow_name, state);
+  LockGuard lock(mu_);
+  auto matching = runs_in_state_locked(flow_name, state);
   std::vector<double> durations;
   const std::size_t start =
       matching.size() > last_n ? matching.size() - last_n : 0;
@@ -102,8 +123,9 @@ Summary RunDatabase::duration_summary(const std::string& flow_name,
 }
 
 double RunDatabase::success_rate(const std::string& flow_name) const {
+  LockGuard lock(mu_);
   std::size_t terminal = 0, completed = 0;
-  for (const auto& rec : runs(flow_name)) {
+  for (const auto& rec : runs_locked(flow_name)) {
     if (is_terminal(rec.state)) {
       ++terminal;
       if (rec.state == RunState::Completed) ++completed;
@@ -113,11 +135,13 @@ double RunDatabase::success_rate(const std::string& flow_name) const {
 }
 
 void RunDatabase::record_task(TaskRunRecord rec) {
+  LockGuard lock(mu_);
   task_runs_.push_back(std::move(rec));
 }
 
 std::vector<TaskRunRecord> RunDatabase::tasks(
     const std::string& flow_run_id) const {
+  LockGuard lock(mu_);
   std::vector<TaskRunRecord> out;
   for (const auto& t : task_runs_) {
     if (t.flow_run_id == flow_run_id) out.push_back(t);
@@ -128,6 +152,7 @@ std::vector<TaskRunRecord> RunDatabase::tasks(
 Summary RunDatabase::task_duration_summary(const std::string& flow_name,
                                            const std::string& task_name,
                                            std::size_t last_n) const {
+  LockGuard lock(mu_);
   std::vector<double> durations;
   for (const auto& t : task_runs_) {
     if (t.task_name != task_name) continue;
@@ -149,6 +174,7 @@ Summary RunDatabase::task_duration_summary(const std::string& flow_name,
 RunDatabase::TaskQuantiles RunDatabase::task_duration_quantiles(
     const std::string& flow_name, const std::string& task_name,
     std::size_t last_n) const {
+  LockGuard lock(mu_);
   std::vector<double> durations;
   for (const auto& t : task_runs_) {
     if (t.task_name != task_name) continue;
@@ -180,6 +206,7 @@ RunDatabase::TaskQuantiles RunDatabase::task_duration_quantiles(
 
 std::vector<std::string> RunDatabase::task_names(
     const std::string& flow_name) const {
+  LockGuard lock(mu_);
   std::vector<std::string> out;
   for (const auto& t : task_runs_) {
     if (!flow_name.empty()) {

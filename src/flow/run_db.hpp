@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/thread_safety.hpp"
 #include "common/units.hpp"
 
 namespace alsflow::flow {
@@ -53,6 +54,13 @@ struct TaskRunRecord {
   std::string idempotency_key;
 };
 
+// Thread-safe: the sim thread writes (FlowEngine records run/task state)
+// while pool threads read (watermark probes, exporters, tests polling
+// progress); mu_ (rank kFlowRunDb) serializes the containers. run() and
+// task_records() return stable references into the store — std::map nodes
+// and the append-only task vector's elements don't move — but reading a
+// record's *fields* while the engine is still mutating that run remains
+// an engine-thread contract, as before.
 class RunDatabase {
  public:
   // Flow runs -----------------------------------------------------------
@@ -64,7 +72,8 @@ class RunDatabase {
                      Seconds now, const std::string& error = "");
   void add_retry(const std::string& run_id);
 
-  const FlowRunRecord* run(const std::string& run_id) const;
+  const FlowRunRecord* run(const std::string& run_id) const
+      ALSFLOW_EXCLUDES(mu_);
 
   // All runs of a flow (in creation order); empty name matches all flows.
   std::vector<FlowRunRecord> runs(const std::string& flow_name = "") const;
@@ -83,13 +92,21 @@ class RunDatabase {
   std::vector<TaskRunRecord> tasks(const std::string& flow_run_id) const;
   // Every task record in insertion order (replay scans this to rebuild the
   // idempotency cache; the reference stays stable between record_task calls).
-  const std::vector<TaskRunRecord>& task_records() const { return task_runs_; }
+  // Lock-free by design (replay's hot scan); the reference is stable and
+  // record_task only appends. Engine-thread use only — see class comment.
+  const std::vector<TaskRunRecord>& task_records() const
+      ALSFLOW_NO_THREAD_SAFETY_ANALYSIS {
+    return task_runs_;
+  }
   // Drop the task ledger (models losing the run database's task table —
   // e.g. a database volume loss). Flow-run records survive, so a later
   // replay() still knows *what* was interrupted but restores no
   // idempotency keys: recovery degrades from skip-completed to
   // at-least-once re-execution.
-  void clear_task_records() { task_runs_.clear(); }
+  void clear_task_records() {
+    LockGuard lock(mu_);
+    task_runs_.clear();
+  }
 
   // Stage-level Table 2: durations of the most recent `last_n` completed
   // runs of `task_name` within `flow_name` (empty flow_name matches any
@@ -116,13 +133,23 @@ class RunDatabase {
   // per-task report tables).
   std::vector<std::string> task_names(const std::string& flow_name) const;
 
-  std::size_t total_runs() const { return order_.size(); }
+  std::size_t total_runs() const {
+    LockGuard lock(mu_);
+    return order_.size();
+  }
 
  private:
-  std::map<std::string, FlowRunRecord> runs_;
-  std::vector<std::string> order_;  // creation order
-  std::vector<TaskRunRecord> task_runs_;
-  std::uint64_t next_id_ = 1;
+  std::vector<FlowRunRecord> runs_locked(const std::string& flow_name) const
+      ALSFLOW_REQUIRES(mu_);
+  std::vector<FlowRunRecord> runs_in_state_locked(
+      const std::string& flow_name, RunState state) const
+      ALSFLOW_REQUIRES(mu_);
+
+  mutable Mutex mu_{LockRank::kFlowRunDb, "flow.run_db"};
+  std::map<std::string, FlowRunRecord> runs_ ALSFLOW_GUARDED_BY(mu_);
+  std::vector<std::string> order_ ALSFLOW_GUARDED_BY(mu_);  // creation order
+  std::vector<TaskRunRecord> task_runs_ ALSFLOW_GUARDED_BY(mu_);
+  std::uint64_t next_id_ ALSFLOW_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace alsflow::flow

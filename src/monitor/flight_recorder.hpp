@@ -50,7 +50,7 @@ class FlightRecorder {
 
  private:
   Config cfg_;
-  mutable Mutex m_;
+  mutable Mutex m_{LockRank::kFlightRecorder, "monitor.flight_recorder"};
   std::deque<telemetry::MonitorEvent> events_ ALSFLOW_GUARDED_BY(m_);
   std::deque<LogRecord> logs_ ALSFLOW_GUARDED_BY(m_);
   std::map<std::string, double> last_metrics_ ALSFLOW_GUARDED_BY(m_);

@@ -1,5 +1,6 @@
 #include "monitor/health_monitor.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
@@ -27,13 +28,15 @@ void HealthMonitor::add_default_slos(const DefaultSloConfig& cfg) {
 void HealthMonitor::add_watermark(std::string name, std::string target,
                                   std::string stage,
                                   std::function<double()> probe) {
-  LockGuard lock(m_);
   Watermark w;
   w.name = std::move(name);
   w.target = std::move(target);
   w.stage = std::move(stage);
   w.probe = std::move(probe);
+  // Baseline the probe before taking m_ — it is user code and may read
+  // services (or this monitor) whose locks must stay below ours.
   w.high = w.probe ? w.probe() : 0.0;
+  LockGuard lock(m_);
   watermarks_.push_back(std::move(w));
 }
 
@@ -57,18 +60,42 @@ void HealthMonitor::uninstall() {
   installed_ = false;
 }
 
-void HealthMonitor::check_watermarks_locked(Seconds now) {
-  for (Watermark& w : watermarks_) {
+std::vector<double> HealthMonitor::sample_watermarks() const {
+  // Copy the probe functions under the lock, invoke them after release:
+  // probes are user callbacks (they typically read the run database or
+  // this monitor itself) and running them under m_ both inverts the lock
+  // order and self-deadlocks on reentrant reads.
+  std::vector<std::function<double()>> probes;
+  {
+    LockGuard lock(m_);
+    probes.reserve(watermarks_.size());
+    for (const Watermark& w : watermarks_) probes.push_back(w.probe);
+  }
+  std::vector<double> values(probes.size(), 0.0);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    if (probes[i]) values[i] = probes[i]();
+  }
+  return values;
+}
+
+void HealthMonitor::check_watermarks_locked(
+    Seconds now, const std::vector<double>& probed) {
+  // probed[i] pairs with watermarks_[i] from the sample_watermarks call;
+  // min() guards the (setup-time-only) case of a watermark added between
+  // the sample and the apply.
+  const std::size_t n = std::min(watermarks_.size(), probed.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    Watermark& w = watermarks_[i];
     if (!w.probe) continue;
-    const double cur = w.probe();
+    const double cur = probed[i];
     if (cur < w.high) {
       if (!w.tripped) {
         w.tripped = true;
         char detail[96];
         std::snprintf(detail, sizeof detail, "watermark_drop(%.0f -> %.0f)",
                       w.high, cur);
-        const Alert& a = slos_.raise(w.name, w.target, w.stage,
-                                     Severity::Page, now, detail);
+        const Alert a = slos_.raise(w.name, w.target, w.stage,
+                                    Severity::Page, now, detail);
         if (cfg_.snapshot_on_alert) {
           incidents_.push_back(recorder_.snapshot(a, now));
         }
@@ -85,9 +112,10 @@ void HealthMonitor::check_watermarks_locked(Seconds now) {
 
 void HealthMonitor::on_event(const telemetry::MonitorEvent& ev) {
   recorder_.record_event(ev);
+  const std::vector<double> probed = sample_watermarks();
   LockGuard lock(m_);
   ++events_seen_;
-  check_watermarks_locked(ev.t);
+  check_watermarks_locked(ev.t, probed);
   for (const Alert& a : slos_.ingest(ev)) {
     if (cfg_.snapshot_on_alert) {
       incidents_.push_back(recorder_.snapshot(a, ev.t));
@@ -96,8 +124,9 @@ void HealthMonitor::on_event(const telemetry::MonitorEvent& ev) {
 }
 
 void HealthMonitor::sweep(Seconds now) {
+  const std::vector<double> probed = sample_watermarks();
   LockGuard lock(m_);
-  check_watermarks_locked(now);
+  check_watermarks_locked(now, probed);
   slos_.sweep(now);
 }
 

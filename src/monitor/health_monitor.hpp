@@ -93,13 +93,19 @@ class HealthMonitor final : public telemetry::EventSink {
     bool tripped = false;  // one alert per drop episode
   };
 
-  void check_watermarks_locked(Seconds now) ALSFLOW_REQUIRES(m_);
+  // Watermark probes are user callbacks: sample them with no lock held
+  // (sample_watermarks), then apply the sampled values under m_. A probe
+  // that reads this monitor — or any lower-ranked service — would
+  // otherwise self-deadlock or invert the lock order.
+  std::vector<double> sample_watermarks() const ALSFLOW_EXCLUDES(m_);
+  void check_watermarks_locked(Seconds now, const std::vector<double>& probed)
+      ALSFLOW_REQUIRES(m_);
 
   Config cfg_;
   FlightRecorder recorder_;
   bool installed_ = false;
 
-  mutable Mutex m_;
+  mutable Mutex m_{LockRank::kHealthMonitor, "monitor.health"};
   SloEngine slos_ ALSFLOW_GUARDED_BY(m_);
   std::vector<Watermark> watermarks_ ALSFLOW_GUARDED_BY(m_);
   std::vector<std::string> incidents_ ALSFLOW_GUARDED_BY(m_);

@@ -71,7 +71,18 @@ void SloEngine::add(SloSpec spec) {
                             o * 2.0,   o * 4.0,  o * 8.0};
     }
   }
+  LockGuard lock(m_);
   specs_.push_back(std::move(spec));
+}
+
+std::vector<SloSpec> SloEngine::specs() const {
+  LockGuard lock(m_);
+  return specs_;
+}
+
+std::vector<Alert> SloEngine::alerts() const {
+  LockGuard lock(m_);
+  return history_;
 }
 
 SloEngine::Burn SloEngine::burn_rates(const Series& s, const SloSpec& spec,
@@ -165,6 +176,7 @@ void SloEngine::evaluate(const SeriesKey& key, Seconds now,
 
 std::vector<Alert> SloEngine::ingest(const telemetry::MonitorEvent& ev) {
   std::vector<Alert> fired;
+  LockGuard lock(m_);
   for (std::size_t i = 0; i < specs_.size(); ++i) {
     const SloSpec& spec = specs_[i];
     if (spec.component != ev.component || spec.kind != ev.kind) continue;
@@ -197,9 +209,10 @@ std::vector<Alert> SloEngine::ingest(const telemetry::MonitorEvent& ev) {
   return fired;
 }
 
-const Alert& SloEngine::raise(std::string slo, std::string target,
-                              std::string stage, Severity severity,
-                              Seconds at, std::string detail) {
+Alert SloEngine::raise(std::string slo, std::string target,
+                       std::string stage, Severity severity, Seconds at,
+                       std::string detail) {
+  LockGuard lock(m_);
   Alert a;
   a.id = history_.size() + 1;
   a.slo = std::move(slo);
@@ -213,6 +226,7 @@ const Alert& SloEngine::raise(std::string slo, std::string target,
 }
 
 void SloEngine::sweep(Seconds now) {
+  LockGuard lock(m_);
   for (auto& [key, s] : series_) {
     if (s.active_alert < 0) continue;
     if (!firing(s, specs_[key.first], now)) {
@@ -223,6 +237,7 @@ void SloEngine::sweep(Seconds now) {
 }
 
 std::vector<Alert> SloEngine::active_alerts() const {
+  LockGuard lock(m_);
   std::vector<Alert> out;
   for (const Alert& a : history_) {
     if (a.active()) out.push_back(a);
@@ -231,6 +246,12 @@ std::vector<Alert> SloEngine::active_alerts() const {
 }
 
 double SloEngine::health(const std::string& target, Seconds now) const {
+  LockGuard lock(m_);
+  return health_locked(target, now);
+}
+
+double SloEngine::health_locked(const std::string& target,
+                                Seconds now) const {
   double worst = 1.0;
   for (const auto& [key, s] : series_) {
     if (key.second != target) continue;
@@ -253,16 +274,18 @@ double SloEngine::health(const std::string& target, Seconds now) const {
 }
 
 std::map<std::string, double> SloEngine::health_scores(Seconds now) const {
+  LockGuard lock(m_);
   std::map<std::string, double> out;
   for (const auto& [key, s] : series_) out[key.second] = 0.0;
   for (const Alert& a : history_) {
     if (a.active()) out[a.target] = 0.0;
   }
-  for (auto& [target, score] : out) score = health(target, now);
+  for (auto& [target, score] : out) score = health_locked(target, now);
   return out;
 }
 
 std::string SloEngine::summary(Seconds now) const {
+  LockGuard lock(m_);
   std::string out;
   char line[256];
   std::snprintf(line, sizeof line, "  %-24s %-24s %6s %6s %10s %10s %10s  %s\n",

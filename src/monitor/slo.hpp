@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/telemetry.hpp"
+#include "common/thread_safety.hpp"
 #include "common/units.hpp"
 
 namespace alsflow::monitor {
@@ -91,14 +92,15 @@ struct Alert {
   std::string json() const;    // one JSON object (no trailing newline)
 };
 
-// NOT thread-safe by itself: HealthMonitor serializes access behind its
-// own mutex. Usable standalone from single-threaded tests.
+// Internally synchronized behind its own ranked mutex (kMonitorSlo, just
+// below HealthMonitor's, so the monitor may call in while holding m_).
+// Standalone use from tests or a bare exporter thread is safe too.
 class SloEngine {
  public:
   static constexpr double kShortDivisor = 6.0;
 
   void add(SloSpec spec);
-  const std::vector<SloSpec>& specs() const { return specs_; }
+  std::vector<SloSpec> specs() const;
 
   // Feed one event. Returns the alerts that fired *on this sample* (also
   // appended to the history); resolves alerts whose series recovered.
@@ -107,15 +109,16 @@ class SloEngine {
 
   // Record an externally detected incident (e.g. a watermark-probe drop)
   // in the same alert history. Stays active until resolve() or forever.
-  const Alert& raise(std::string slo, std::string target, std::string stage,
-                     Severity severity, Seconds at, std::string detail);
+  // Returns a copy of the recorded alert.
+  Alert raise(std::string slo, std::string target, std::string stage,
+              Severity severity, Seconds at, std::string detail);
 
   // Re-evaluate every series with an active alert at `now`, resolving any
   // whose burn dropped below threshold. Never fires new alerts (firing
   // requires a fresh bad sample).
   void sweep(Seconds now);
 
-  std::vector<Alert> alerts() const { return history_; }  // fire order
+  std::vector<Alert> alerts() const;  // fire order
   std::vector<Alert> active_alerts() const;
 
   // Health score in [0, 1] for one attribution target at `now`: the worst
@@ -156,11 +159,15 @@ class SloEngine {
   std::optional<std::pair<BurnRule, Burn>> firing(const Series& s,
                                                   const SloSpec& spec,
                                                   Seconds now) const;
-  void evaluate(const SeriesKey& key, Seconds now, std::vector<Alert>* fired);
+  void evaluate(const SeriesKey& key, Seconds now, std::vector<Alert>* fired)
+      ALSFLOW_REQUIRES(m_);
+  double health_locked(const std::string& target, Seconds now) const
+      ALSFLOW_REQUIRES(m_);
 
-  std::vector<SloSpec> specs_;
-  std::map<SeriesKey, Series> series_;
-  std::vector<Alert> history_;
+  mutable Mutex m_{LockRank::kMonitorSlo, "monitor.slo"};
+  std::vector<SloSpec> specs_ ALSFLOW_GUARDED_BY(m_);
+  std::map<SeriesKey, Series> series_ ALSFLOW_GUARDED_BY(m_);
+  std::vector<Alert> history_ ALSFLOW_GUARDED_BY(m_);
 };
 
 // Tunables for the stock SLO set; the defaults fit the shipped Facility

@@ -74,7 +74,7 @@ class ThreadPool {
   // observe remaining == 0 and destroy the Batch while a worker still
   // holds (or is about to take) the lock.
   struct Batch {
-    Mutex m;
+    Mutex m{LockRank::kPoolBatch, "pool.batch"};
     std::condition_variable cv;
     std::size_t remaining ALSFLOW_GUARDED_BY(m) = 0;
   };
@@ -101,7 +101,7 @@ class ThreadPool {
       ALSFLOW_REQUIRES(mutex_);
 
   std::vector<std::thread> workers_;
-  Mutex mutex_;                    // guards queue_ and stop_
+  Mutex mutex_{LockRank::kPoolQueue, "pool.queue"};  // guards queue_ and stop_
   std::condition_variable cv_work_;
   // LIFO: nested batches drain first.
   std::vector<Task> queue_ ALSFLOW_GUARDED_BY(mutex_);

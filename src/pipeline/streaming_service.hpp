@@ -83,7 +83,7 @@ class StreamingService {
   // container-access contract and keeps cross-thread readers (tests,
   // exporters) safe. Never held across co_await; Active values reached
   // through a looked-up pointer stay engine-thread-only.
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kStreamingService, "pipeline.streaming"};
   std::map<std::string, Active> active_ ALSFLOW_GUARDED_BY(mu_);
   std::map<std::string, StreamingReport> reports_ ALSFLOW_GUARDED_BY(mu_);
   std::size_t delivered_ ALSFLOW_GUARDED_BY(mu_) = 0;

@@ -88,7 +88,7 @@ class ChunkCache {
  private:
   // One in-flight render; waiters park on cv until the leader publishes.
   struct Flight {
-    Mutex m;
+    Mutex m{LockRank::kServeFlight, "serve.flight"};
     std::condition_variable cv;
     bool done ALSFLOW_GUARDED_BY(m) = false;
     bool ok ALSFLOW_GUARDED_BY(m) = false;
@@ -107,7 +107,7 @@ class ChunkCache {
       ALSFLOW_REQUIRES(mu_);
 
   const Bytes capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kChunkCache, "serve.cache"};
   // Front = most recently used.
   std::list<Entry> lru_ ALSFLOW_GUARDED_BY(mu_);
   std::unordered_map<SliceKey, std::list<Entry>::iterator, SliceKeyHash>

@@ -138,6 +138,12 @@ std::shared_ptr<Ticket> Frontend::submit(SliceRequest req) {
   std::shared_ptr<Ticket> shed;          // oldest queued, dropped for `req`
   std::optional<Error> rejection;        // `req` itself refused
   std::size_t to_spawn = 0;
+  // Gauge update hoisted out of mu_: the registry lookup takes the
+  // telemetry lock and must not run under a serve-layer lock
+  // (lockcheck: emit-under-lock). The tenant name is copied up front
+  // because req is moved into the queue below.
+  const std::string tenant_name = req.tenant;
+  double tenant_depth = -1.0;
   {
     LockGuard lock(mu_);
     ++stats_.submitted;
@@ -172,15 +178,13 @@ std::shared_ptr<Ticket> Frontend::submit(SliceRequest req) {
         stats_.queue_depth = queued_total_;
         stats_.max_queue_depth = std::max(stats_.max_queue_depth,
                                           queued_total_);
-        if (tel) {
-          tenant_depth_gauge(tenant.q.back().req.tenant)
-              .set(double(tenant.q.size()));
-        }
+        if (tel) tenant_depth = double(tenant.q.size());
         spawn_workers_locked();
         std::swap(to_spawn, spawn_pending_);
       }
     }
   }
+  if (tenant_depth >= 0.0) tenant_depth_gauge(tenant_name).set(tenant_depth);
   if (shed) {
     if (tel) serve_metrics().shed.add();
     shed->fulfill(shed_error());
@@ -273,6 +277,12 @@ void Frontend::worker_loop() {
     // Tickets shed at dequeue (stale or past deadline), failed below
     // without holding mu_.
     std::vector<std::pair<std::shared_ptr<Ticket>, Error>> stale;
+    // Queue-depth gauge updates recorded under mu_, applied after release
+    // (the registry lookup takes the telemetry lock; lockcheck's
+    // emit-under-lock rule). Interleaving with other workers can apply
+    // sets slightly out of order — the gauge is an approximate depth
+    // indicator, not an accounting counter.
+    std::vector<std::pair<std::string, double>> depth_updates;
     {
       LockGuard lock(mu_);
       for (;;) {
@@ -288,11 +298,13 @@ void Frontend::worker_loop() {
         --queued_total_;
         stats_.queue_depth = queued_total_;
         if (tel) {
-          tenant_depth_gauge(item.req.tenant).set(double(tenant->q.size()));
+          depth_updates.emplace_back(item.req.tenant,
+                                     double(tenant->q.size()));
         }
         vtime_ = tenant->pass;
         tenant->pass += 1.0 / tenant->weight;
 
+        // lockcheck:allow callback-under-lock clock is a lock-free read
         dequeued_at = config_.clock();
         const double age = dequeued_at - item.enqueued_at;
         const bool past_deadline =
@@ -318,6 +330,9 @@ void Frontend::worker_loop() {
         sequence = ++sequence_;
         break;
       }
+    }
+    for (auto& [tenant, depth] : depth_updates) {
+      tenant_depth_gauge(tenant).set(depth);
     }
     for (auto& [ticket, err] : stale) {
       if (tel) serve_metrics().shed.add();

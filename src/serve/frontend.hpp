@@ -80,6 +80,8 @@ struct FrontendConfig {
   // resume()); submissions are admitted either way.
   bool start_paused = false;
   // Time source (seconds, monotone). Defaults to the telemetry wall clock.
+  // Contract: must be lock-free (a pure read) — the scheduler reads it
+  // while holding the frontend mutex, under a lockcheck waiver.
   std::function<double()> clock;
   // Thread pool to run on. Defaults to ThreadPool::global().
   parallel::ThreadPool* pool = nullptr;
@@ -124,7 +126,7 @@ class Ticket {
   friend class Frontend;
   void fulfill(Result<SliceResponse> r) ALSFLOW_EXCLUDES(m_);
 
-  mutable Mutex m_;
+  mutable Mutex m_{LockRank::kServeTicket, "serve.ticket"};
   std::condition_variable cv_;
   std::optional<Result<SliceResponse>> result_ ALSFLOW_GUARDED_BY(m_);
 };
@@ -205,7 +207,7 @@ class Frontend {
   parallel::ThreadPool& pool_;
   ChunkCache cache_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kServeFrontend, "serve.frontend"};
   std::condition_variable idle_cv_;  // drain() / ~Frontend wake-up
   std::map<std::string, Tenant> tenants_ ALSFLOW_GUARDED_BY(mu_);
   std::size_t queued_total_ ALSFLOW_GUARDED_BY(mu_) = 0;

@@ -132,7 +132,7 @@ class TransferService {
   // route-table / history access contract machine-checked and keeps
   // cross-thread readers (tests, exporters) safe. Never held across
   // co_await.
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTransferService, "transfer.service"};
   std::map<std::pair<std::string, std::string>, net::Link*> routes_
       ALSFLOW_GUARDED_BY(mu_);
   std::vector<TransferOutcome> history_ ALSFLOW_GUARDED_BY(mu_);

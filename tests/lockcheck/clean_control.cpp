@@ -1,0 +1,63 @@
+// Clean control: the hoisted/ranked patterns the fixed tree uses. Every
+// rule must stay silent here — this file guards against over-firing.
+#include "support.hpp"
+
+namespace alsflow {
+
+struct Ticket {
+  void fulfill(int code);
+};
+
+class Server {
+ public:
+  // Strict rank descent: outer monitor-layer lock, inner serve lock.
+  void descend(Server& other) {
+    LockGuard g(high_);
+    LockGuard h(mu_);
+  }
+
+  // Callback hoisted: copy under the lock, invoke after release.
+  void notify() {
+    std::function<void()> cb;
+    {
+      LockGuard g(mu_);
+      cb = on_done_;
+    }
+    cb();
+  }
+
+  // Completion fulfilled outside the critical section.
+  void finish(Ticket* t) {
+    bool ok = false;
+    {
+      LockGuard g(mu_);
+      ok = depth_ > 0;
+    }
+    if (ok) t->fulfill(0);
+  }
+
+  // Emission hoisted: record the value under the lock, emit after.
+  void depth_metric() {
+    double depth = 0.0;
+    {
+      LockGuard g(mu_);
+      depth = double(depth_);
+    }
+    telemetry::global().metrics().gauge("depth").set(depth);
+  }
+
+  // A *_locked helper with an explicit contract acquires nothing new.
+  void drain() {
+    LockGuard g(mu_);
+    drain_locked();
+  }
+  void drain_locked() ALSFLOW_REQUIRES(mu_) { --depth_; }
+
+ private:
+  Mutex high_{LockRank::kHealthMonitor, "monitor.health"};
+  Mutex mu_{LockRank::kServeFrontend, "serve.frontend"};
+  std::function<void()> on_done_;
+  int depth_ = 0;
+};
+
+}  // namespace alsflow

@@ -21,6 +21,14 @@ Rules (over src/**, comments stripped before matching):
   stdout-logging no std::cout / std::cerr / printf / puts; use LogStream
                  (log_info("component") << ...)
   pragma-once    every .hpp must contain #pragma once
+  event-vocab    observability vocabulary must not drift: every
+                 (component, kind) pair in the monitor's default_slos
+                 selector table must match a MonitorEvent emit site and
+                 vice versa, and every span component the
+                 ScanTraceAssembler stage map tests must be produced by
+                 some tracer begin() site. Nothing ties these string
+                 literals together at compile time, so a rename on one
+                 side silently unwires the SLO or the stage attribution.
 
 Per-file allowlist: ALLOW below. A single line can be exempted with a
 trailing  // lint:allow <rule>  comment plus a reason.
@@ -54,6 +62,7 @@ ALLOW = {
     # The default log sink writes to stderr by design.
     "stdout-logging": set(),
     "pragma-once": set(),
+    "event-vocab": set(),
 }
 
 # rule -> list of (compiled regex, human reason). Negative lookbehind
@@ -99,6 +108,99 @@ PATTERNS = {
 }
 
 SUPPRESS = re.compile(r"//\s*lint:allow\s+([\w-]+)")
+
+# --- event-vocab: observability name drift ---------------------------------
+# Emitters name their MonitorEvent (component, kind) with string literals;
+# default_slos (monitor/slo.cpp) selects on the same literals, and the
+# ScanTraceAssembler stage map (monitor/trace_assembler.cpp) switches on
+# span component literals produced at tracer begin() sites. This pass
+# extracts each side and diffs them, anchoring findings on the stale line.
+
+EVENT_COMPONENT_ASSIGN = re.compile(
+    r'(?<![\w.])(\w+)\.component\s*=\s*"([\w.]+)"')
+EVENT_KIND_ASSIGN = re.compile(r'(?<![\w.])(\w+)\.kind\s*=\s*"([\w.]+)"')
+SPAN_BEGIN = re.compile(r'\.begin\(\s*"([\w.]+)"')
+STAGE_COMPONENT_CMP = re.compile(r'component\s*==\s*"([\w.]+)"')
+
+SLO_TABLE_FILE = "monitor/slo.cpp"              # selector side
+STAGE_MAP_FILE = "monitor/trace_assembler.cpp"  # stage-map side
+
+
+def collect_event_pairs(code_lines):
+    """(component, kind, line_no) from paired literal assignments.
+
+    A pair is a `v.component = "..."` assignment followed within a few
+    lines by `v.kind = "..."` on the same variable — the shape every emit
+    site and every default_slos selector uses. Non-literal assignments
+    (e.g. `entry.kind = ev.kind`) never match.
+    """
+    pairs = []
+    pending = {}  # var -> (component, line_no)
+    for line_no, code in enumerate(code_lines, start=1):
+        for m in EVENT_COMPONENT_ASSIGN.finditer(code):
+            pending[m.group(1)] = (m.group(2), line_no)
+        for m in EVENT_KIND_ASSIGN.finditer(code):
+            hit = pending.pop(m.group(1), None)
+            if hit is not None and line_no - hit[1] <= 4:
+                pairs.append((hit[0], m.group(2), line_no))
+    return pairs
+
+
+def check_event_vocab(src, findings):
+    emits, selectors, stage_refs = [], [], []
+    span_components = set()
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        rel = path.relative_to(src).as_posix()
+        if rel in ALLOW["event-vocab"]:
+            continue
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = raw.splitlines()
+        code = strip_comments(raw)
+        for comp, kind, ln in collect_event_pairs(code.splitlines()):
+            raw_line = raw_lines[ln - 1] if ln <= len(raw_lines) else ""
+            entry = (comp, kind, path, rel, ln, raw_line)
+            (selectors if rel == SLO_TABLE_FILE else emits).append(entry)
+        for m in SPAN_BEGIN.finditer(code):
+            span_components.add(m.group(1))
+        if rel == STAGE_MAP_FILE:
+            for ln, line in enumerate(code.splitlines(), start=1):
+                for m in STAGE_COMPONENT_CMP.finditer(line):
+                    raw_line = raw_lines[ln - 1] if ln <= len(raw_lines) else ""
+                    stage_refs.append((m.group(1), path, rel, ln, raw_line))
+
+    def suppressed(raw_line):
+        m = SUPPRESS.search(raw_line)
+        return m is not None and m.group(1) == "event-vocab"
+
+    emitted = {(c, k) for c, k, *_ in emits}
+    selected = {(c, k) for c, k, *_ in selectors}
+    # Only diff when both sides exist — a partial tree (or the selftest's
+    # synthetic corpus) should not drown in one-sided findings.
+    if emitted and selected:
+        for comp, kind, path, rel, ln, raw_line in selectors:
+            if (comp, kind) not in emitted and not suppressed(raw_line):
+                findings.append(Finding(
+                    path, ln, "event-vocab",
+                    f'SLO selector ("{comp}", "{kind}") matches no '
+                    "MonitorEvent emit site — emitter renamed or removed?",
+                    raw_line, rel=f"src/{rel}"))
+        for comp, kind, path, rel, ln, raw_line in emits:
+            if (comp, kind) not in selected and not suppressed(raw_line):
+                findings.append(Finding(
+                    path, ln, "event-vocab",
+                    f'MonitorEvent ("{comp}", "{kind}") has no default_slos '
+                    "selector — add one or lint:allow the emit site",
+                    raw_line, rel=f"src/{rel}"))
+    if span_components:
+        for comp, path, rel, ln, raw_line in stage_refs:
+            if comp not in span_components and not suppressed(raw_line):
+                findings.append(Finding(
+                    path, ln, "event-vocab",
+                    f'stage map tests span component "{comp}" that no '
+                    "tracer begin() site produces",
+                    raw_line, rel=f"src/{rel}"))
 
 
 def strip_comments(text):
@@ -227,6 +329,7 @@ def run(root, fmt="text"):
         lint_file(path, rel, findings)
         for f in findings[before:]:
             f.rel = f"src/{rel}"
+    check_event_vocab(src, findings)
     n_files = sum(1 for _ in src.rglob("*.cpp")) + \
         sum(1 for _ in src.rglob("*.hpp"))
     if fmt == "json":
@@ -277,8 +380,68 @@ GOOD_SNIPPETS = [
 ]
 
 
+# Synthetic trees for the event-vocab pass. The bad tree has one stale
+# entry on each side (dead selector, unselected emit, ghost stage
+# component); the good tree is fully wired and must stay silent.
+VOCAB_BAD_FILES = {
+    "net/link.cpp":
+        'void f() { ev.component = "net"; ev.kind = "delivery"; }\n'
+        'void g() {\n'
+        '  ev.component = "net";\n'
+        '  ev.kind = "retired";\n'   # no selector -> flagged
+        '}\n',
+    "monitor/slo.cpp":
+        's.component = "net";\ns.kind = "delivery";\n'
+        's.component = "hpc";\ns.kind = "queue_wait";\n',  # no emit -> flagged
+    "monitor/trace_assembler.cpp":
+        'if (span.component == "ghost") return "recon";\n'  # -> flagged
+        'if (span.component == "hpc") return "recon";\n',
+    "hpc/adapter.cpp":
+        'auto s = tracer.begin("hpc", "execute", 0);\n',
+}
+VOCAB_GOOD_FILES = {
+    "net/link.cpp":
+        'void f() { ev.component = "net"; ev.kind = "delivery"; }\n'
+        'void h() { entry.kind = ev.kind; }\n',  # non-literal: ignored
+    "monitor/slo.cpp": 's.component = "net";\ns.kind = "delivery";\n',
+    "monitor/trace_assembler.cpp":
+        'if (span.component == "hpc") return "recon";\n',
+    "hpc/adapter.cpp": 'auto s = tracer.begin("hpc", "execute", 0);\n',
+}
+
+
+def vocab_selftest(failures):
+    import tempfile
+
+    def run_tree(files):
+        with tempfile.TemporaryDirectory() as td:
+            src = Path(td) / "src"
+            for rel, content in files.items():
+                p = src / rel
+                p.parent.mkdir(parents=True, exist_ok=True)
+                p.write_text(content, encoding="utf-8")
+            findings = []
+            check_event_vocab(src, findings)
+            return findings
+
+    bad = run_tree(VOCAB_BAD_FILES)
+    want = {("net/link.cpp", "retired"), ("monitor/slo.cpp", "queue_wait"),
+            ("monitor/trace_assembler.cpp", "ghost")}
+    got = {(f.rel.removeprefix("src/"), token)
+           for f in bad for token in ("retired", "queue_wait", "ghost")
+           if token in f.message}
+    if got != want or len(bad) != len(want):
+        failures.append(f"[event-vocab] bad tree: expected {sorted(want)}, "
+                        f"got {[f.render() for f in bad]}")
+    good = run_tree(VOCAB_GOOD_FILES)
+    if good:
+        failures.append("[event-vocab] good tree should be silent: " +
+                        "; ".join(f.render() for f in good))
+
+
 def selftest():
     failures = []
+    vocab_selftest(failures)
     for rule, snippets in BAD_SNIPPETS.items():
         for snippet in snippets:
             code = strip_comments(snippet)
@@ -294,7 +457,7 @@ def selftest():
     print("alsflow_lint --selftest: " +
           ("FAIL" if failures else "OK "
            f"({sum(len(s) for s in BAD_SNIPPETS.values())} bad, "
-           f"{len(GOOD_SNIPPETS)} good snippets)"))
+           f"{len(GOOD_SNIPPETS)} good snippets, 2 vocab trees)"))
     return 1 if failures else 0
 
 
