@@ -2,7 +2,33 @@
 
 #include <algorithm>
 
+#include "common/hot_guard.hpp"
+
 namespace alsflow::data {
+
+namespace {
+
+// Strided gather loops behind slice(): the serve path runs these per cache
+// miss, so they take a preallocated target and touch no allocator.
+ALSFLOW_HOT void extract_y_plane(const tomo::Volume& v, std::size_t index,
+                                 tomo::Image& img) {
+  for (std::size_t z = 0; z < v.nz(); ++z) {
+    for (std::size_t x = 0; x < v.nx(); ++x) {
+      img.at(z, x) = v.at(z, index, x);
+    }
+  }
+}
+
+ALSFLOW_HOT void extract_x_plane(const tomo::Volume& v, std::size_t index,
+                                 tomo::Image& img) {
+  for (std::size_t z = 0; z < v.nz(); ++z) {
+    for (std::size_t y = 0; y < v.ny(); ++y) {
+      img.at(z, y) = v.at(z, y, index);
+    }
+  }
+}
+
+}  // namespace
 
 tomo::Volume downsample2(const tomo::Volume& vol) {
   const std::size_t nz = (vol.nz() + 1) / 2;
@@ -93,21 +119,13 @@ Result<tomo::Image> MultiscaleVolume::slice(std::size_t level, int axis,
     case 1: {
       if (index >= v.ny()) return Error::make("not_found", "y out of range");
       tomo::Image img(v.nz(), v.nx());
-      for (std::size_t z = 0; z < v.nz(); ++z) {
-        for (std::size_t x = 0; x < v.nx(); ++x) {
-          img.at(z, x) = v.at(z, index, x);
-        }
-      }
+      extract_y_plane(v, index, img);
       return img;
     }
     case 2: {
       if (index >= v.nx()) return Error::make("not_found", "x out of range");
       tomo::Image img(v.nz(), v.ny());
-      for (std::size_t z = 0; z < v.nz(); ++z) {
-        for (std::size_t y = 0; y < v.ny(); ++y) {
-          img.at(z, y) = v.at(z, y, index);
-        }
-      }
+      extract_x_plane(v, index, img);
       return img;
     }
     default:

@@ -78,7 +78,14 @@ void ThreadPool::run_task(const Task& task) {
     delete task.detached;
     return;
   }
-  (*task.body)(task.chunk_begin, task.chunk_end);
+  if (task.hot_region != nullptr) {
+    // Re-enter the submitter's hot region for the body only; the batch
+    // bookkeeping below (a tracked lock) is pool overhead, not kernel.
+    hotguard::HotRegion region(task.hot_region);
+    (*task.body)(task.chunk_begin, task.chunk_end);
+  } else {
+    (*task.body)(task.chunk_begin, task.chunk_end);
+  }
   LockGuard lock(task.batch->m);
   if (--task.batch->remaining == 0) task.batch->cv.notify_all();
 }
@@ -145,12 +152,16 @@ void ThreadPool::run_chunks(
   // the first itself. The batch lives on this stack frame: `remaining` is
   // fixed before the tasks become visible (publication ordered by mutex_).
   Batch batch;
+  // Snapshot the caller's hot region (if any) so stolen chunks execute
+  // under the same marker on the workers.
+  const char* hot = hotguard::current_region();
   std::vector<Task> tasks;
   tasks.reserve(chunks - 1);
   for (std::size_t c = 1; c < chunks; ++c) {
     const std::size_t b = begin + c * chunk_size;
     if (b >= end) break;
-    tasks.push_back(Task{&body, b, std::min(end, b + chunk_size), &batch});
+    tasks.push_back(
+        Task{&body, b, std::min(end, b + chunk_size), &batch, nullptr, hot});
   }
   if (tasks.empty()) {
     body(begin, end);

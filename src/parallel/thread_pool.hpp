@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/hot_guard.hpp"
 #include "common/thread_safety.hpp"
 
 namespace alsflow::parallel {
@@ -81,13 +82,18 @@ class ThreadPool {
 
   // Either a chunk of a parallel_for batch (body/batch set, detached null)
   // or a detached post() task (detached owned by the queue entry, deleted
-  // after the run; body/batch null).
+  // after the run; body/batch null). `hot_region` carries the submitting
+  // thread's innermost HotRegion name (a string literal, so it outlives
+  // the batch) onto workers: a chunk submitted from inside a hot region is
+  // part of that region no matter which thread runs it, and the allocation
+  // guard must see the same contract on every thread.
   struct Task {
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::size_t chunk_begin = 0;
     std::size_t chunk_end = 0;
     Batch* batch = nullptr;
     std::function<void()>* detached = nullptr;
+    const char* hot_region = nullptr;
   };
 
   void worker_loop() ALSFLOW_EXCLUDES(mutex_);

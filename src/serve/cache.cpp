@@ -2,9 +2,15 @@
 
 #include <utility>
 
+#include "common/hot_guard.hpp"
+
 namespace alsflow::serve {
 
-std::size_t SliceKeyHash::operator()(const SliceKey& k) const {
+namespace {
+
+// Runs on every cache probe, including the serve fast path (cache hit
+// under the index lock): keep it pure — no allocation, no logging.
+ALSFLOW_HOT std::size_t hash_slice_key(const SliceKey& k) {
   // FNV-1a over the string, then mix in the scalar fields.
   std::size_t h = 1469598103934665603ull;
   for (char c : k.volume) {
@@ -18,6 +24,12 @@ std::size_t SliceKeyHash::operator()(const SliceKey& k) const {
   mix(std::size_t(k.axis));
   mix(k.index);
   return h;
+}
+
+}  // namespace
+
+std::size_t SliceKeyHash::operator()(const SliceKey& k) const {
+  return hash_slice_key(k);
 }
 
 ChunkCache::ChunkCache(Bytes capacity_bytes) : capacity_(capacity_bytes) {}

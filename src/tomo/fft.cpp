@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/hot_guard.hpp"
+#include "parallel/scratch.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace alsflow::tomo {
@@ -29,7 +31,7 @@ std::size_t next_pow2(std::size_t n) {
   return p;
 }
 
-void fft(std::span<std::complex<double>> a, bool inverse) {
+ALSFLOW_HOT void fft(std::span<std::complex<double>> a, bool inverse) {
   const std::size_t n = a.size();
   if (!is_pow2(n)) throw_bad_size("fft size", n);
   if (n <= 1) return;
@@ -80,6 +82,7 @@ void fft2(std::vector<std::complex<double>>& a, std::size_t ny, std::size_t nx,
 
   // Rows: contiguous, transformed in place.
   auto row_pass = [&](std::size_t y0, std::size_t y1) {
+    hotguard::HotRegion region("fft2.row");
     for (std::size_t y = y0; y < y1; ++y) {
       fft(std::span<std::complex<double>>(a.data() + y * nx, nx), inverse);
     }
@@ -90,9 +93,14 @@ void fft2(std::vector<std::complex<double>>& a, std::size_t ny, std::size_t nx,
     row_pass(0, ny);
   }
 
-  // Columns: gathered into a per-chunk scratch vector.
+  // Columns: gathered into a worker-local scratch column. The buffer is
+  // acquired before the hot region opens, so steady-state chunks run
+  // allocation-free; the serial path shares the same body, keeping the
+  // output byte-identical to the parallel one.
   auto col_pass = [&](std::size_t x0, std::size_t x1) {
-    std::vector<std::complex<double>> tmp(ny);
+    auto tmp = parallel::WorkerScratch::complex_buffer(
+        parallel::WorkerScratch::kFft2Col, ny);
+    hotguard::HotRegion region("fft2.col");
     for (std::size_t x = x0; x < x1; ++x) {
       for (std::size_t y = 0; y < ny; ++y) tmp[y] = a[y * nx + x];
       fft(tmp, inverse);

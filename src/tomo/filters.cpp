@@ -1,9 +1,12 @@
 #include "tomo/filters.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
 
+#include "common/hot_guard.hpp"
+#include "parallel/scratch.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tomo/fft.hpp"
 
@@ -89,12 +92,20 @@ void ProjectionFilter::apply(std::span<const float> in,
 void ProjectionFilter::apply_with_scratch(
     std::span<const float> in, std::span<float> out,
     std::vector<std::complex<double>>& scratch) const {
+  scratch.resize(n_pad_);
+  apply_span(in, out, std::span<std::complex<double>>(scratch));
+}
+
+ALSFLOW_HOT void ProjectionFilter::apply_span(
+    std::span<const float> in, std::span<float> out,
+    std::span<std::complex<double>> scratch) const {
   assert(in.size() == n_det_ && out.size() == n_det_);
+  assert(scratch.size() == n_pad_);
   if (kind_ == FilterKind::None) {
     if (out.data() != in.data()) std::copy(in.begin(), in.end(), out.begin());
     return;
   }
-  scratch.assign(n_pad_, {0.0, 0.0});
+  std::fill(scratch.begin(), scratch.end(), std::complex<double>(0.0, 0.0));
   for (std::size_t i = 0; i < n_det_; ++i) scratch[i] = double(in[i]);
   fft(scratch, false);
   for (std::size_t k = 0; k < n_pad_; ++k) scratch[k] *= response_[k];
@@ -104,13 +115,16 @@ void ProjectionFilter::apply_with_scratch(
 
 void ProjectionFilter::apply_rows(Image& sinogram) const {
   assert(sinogram.nx() == n_det_);
-  // Rows are independent; each chunk reuses one padded FFT buffer.
+  // Rows are independent; each worker reuses one padded FFT buffer from its
+  // scratch arena, acquired before the hot region opens.
   parallel::parallel_for_chunks(
       0, sinogram.ny(), [&](std::size_t a0, std::size_t a1) {
-        std::vector<std::complex<double>> scratch;
+        auto scratch = parallel::WorkerScratch::complex_buffer(
+            parallel::WorkerScratch::kFilterPad, n_pad_);
+        hotguard::HotRegion region("filter.apply_rows");
         for (std::size_t a = a0; a < a1; ++a) {
           auto row = sinogram.row(a);
-          apply_with_scratch(row, row, scratch);
+          apply_span(row, row, scratch);
         }
       });
 }

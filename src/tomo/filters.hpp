@@ -44,10 +44,16 @@ class ProjectionFilter {
   // Filter one projection row (out may alias in).
   void apply(std::span<const float> in, std::span<float> out) const;
 
-  // As apply(), but reusing a caller-owned padded FFT buffer — the
-  // allocation-free form the row-parallel paths use.
+  // As apply(), but reusing a caller-owned padded FFT buffer, grown to
+  // n_pad() on first use.
   void apply_with_scratch(std::span<const float> in, std::span<float> out,
                           std::vector<std::complex<double>>& scratch) const;
+
+  // Core of the other two forms: filter with a pre-sized buffer of exactly
+  // n_pad() elements (contents overwritten). Never allocates — this is the
+  // form hot regions call, with scratch from parallel::WorkerScratch.
+  void apply_span(std::span<const float> in, std::span<float> out,
+                  std::span<std::complex<double>> scratch) const;
 
   // Filter every row of a sinogram in place (rows run on the thread pool).
   void apply_rows(Image& sinogram) const;

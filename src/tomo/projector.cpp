@@ -1,23 +1,38 @@
 #include "tomo/projector.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
+#include "common/hot_guard.hpp"
+#include "parallel/scratch.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace alsflow::tomo {
 
 namespace {
 
+// Per-angle cos/sin tables in worker-local scratch. The tables live in the
+// calling thread's arena (not per-call vectors): fbp_backproject_points runs
+// inside the streaming preview's hot lambdas, where a per-call allocation
+// would break the hot-path contract. The spans stay valid for the duration
+// of the enclosing call — nested parallel_for bodies on other threads read
+// the submitter's tables through the captured spans.
 struct Trig {
-  std::vector<double> ct, st;
-  explicit Trig(const Geometry& geo) : ct(geo.n_angles), st(geo.n_angles) {
-    for (std::size_t a = 0; a < geo.n_angles; ++a) {
-      ct[a] = std::cos(geo.angle(a));
-      st[a] = std::sin(geo.angle(a));
-    }
-  }
+  std::span<double> ct, st;
 };
+
+Trig trig_tables(const Geometry& geo) {
+  Trig t{parallel::WorkerScratch::double_buffer(
+             parallel::WorkerScratch::kTrigCos, geo.n_angles),
+         parallel::WorkerScratch::double_buffer(
+             parallel::WorkerScratch::kTrigSin, geo.n_angles)};
+  for (std::size_t a = 0; a < geo.n_angles; ++a) {
+    t.ct[a] = std::cos(geo.angle(a));
+    t.st[a] = std::sin(geo.angle(a));
+  }
+  return t;
+}
 
 // Map pixel indices to the [-1, 1] grid (+v up, matching phantom.cpp).
 inline double u_of(std::size_t x, std::size_t n) {
@@ -29,10 +44,12 @@ inline double v_of(std::size_t y, std::size_t n) {
 
 }  // namespace
 
-Image forward_project(const Image& img, const Geometry& geo) {
+void forward_project_into(const Image& img, const Geometry& geo, Image& sino) {
+  assert(sino.ny() == geo.n_angles && sino.nx() == geo.n_det);
   const std::size_t n = img.nx();
-  Image sino(geo.n_angles, geo.n_det);
-  const Trig trig(geo);
+  auto out = sino.span();
+  std::fill(out.begin(), out.end(), 0.0f);
+  const Trig trig = trig_tables(geo);
   const double center = geo.center_or_default();
   const double det_spacing = 2.0 / double(geo.n_det);
   const double h = 2.0 / double(n);
@@ -41,6 +58,7 @@ Image forward_project(const Image& img, const Geometry& geo) {
 
   // Each angle writes its own sinogram row: parallel over angles.
   parallel::parallel_for(0, geo.n_angles, [&](std::size_t a) {
+    hotguard::HotRegion region("projector.forward");
     const double ct = trig.ct[a], st = trig.st[a];
     auto row = sino.row(a);
     for (std::size_t y = 0; y < img.ny(); ++y) {
@@ -63,19 +81,25 @@ Image forward_project(const Image& img, const Geometry& geo) {
       }
     }
   });
+}
+
+Image forward_project(const Image& img, const Geometry& geo) {
+  Image sino(geo.n_angles, geo.n_det);
+  forward_project_into(img, geo, sino);
   return sino;
 }
 
-Image back_project_adjoint(const Image& sino, const Geometry& geo,
-                           std::size_t n) {
-  Image img(n, n);
-  const Trig trig(geo);
+void back_project_adjoint_into(const Image& sino, const Geometry& geo,
+                               std::size_t n, Image& img) {
+  assert(img.ny() == n && img.nx() == n);
+  const Trig trig = trig_tables(geo);
   const double center = geo.center_or_default();
   const double det_spacing = 2.0 / double(geo.n_det);
   const double h = 2.0 / double(n);
   const double weight = h * h / det_spacing;
 
   parallel::parallel_for(0, n, [&](std::size_t y) {
+    hotguard::HotRegion region("projector.adjoint");
     const double v = v_of(y, n);
     for (std::size_t x = 0; x < n; ++x) {
       const double u = u_of(x, n);
@@ -96,15 +120,22 @@ Image back_project_adjoint(const Image& sino, const Geometry& geo,
       img.at(y, x) = float(acc);
     }
   });
+}
+
+Image back_project_adjoint(const Image& sino, const Geometry& geo,
+                           std::size_t n) {
+  Image img(n, n);
+  back_project_adjoint_into(sino, geo, n, img);
   return img;
 }
 
 namespace {
 
 // Shared inner loop of the FBP gather for one pixel row and one angle.
-inline void gather_row(const Image& sino, std::size_t a, double ct, double st,
-                       double v, std::size_t n, double center,
-                       double det_spacing, std::span<float> out_row) {
+ALSFLOW_HOT inline void gather_row(
+    const Image& sino, std::size_t a, double ct, double st, double v,
+    std::size_t n, double center, double det_spacing,
+    std::span<float> out_row) {
   const std::size_t n_det = sino.nx();
   const double v_term = v * st;
   for (std::size_t x = 0; x < n; ++x) {
@@ -125,7 +156,7 @@ inline void gather_row(const Image& sino, std::size_t a, double ct, double st,
 Image fbp_backproject(const Image& filtered_sino, const Geometry& geo,
                       std::size_t n) {
   Image img(n, n);
-  const Trig trig(geo);
+  const Trig trig = trig_tables(geo);
   const double center = geo.center_or_default();
   const double det_spacing = 2.0 / double(geo.n_det);
   // pi / n_angles from the angular integral; 1 / det_spacing from the
@@ -133,6 +164,7 @@ Image fbp_backproject(const Image& filtered_sino, const Geometry& geo,
   const double scale = M_PI / double(geo.n_angles) / det_spacing;
 
   parallel::parallel_for(0, n, [&](std::size_t y) {
+    hotguard::HotRegion region("projector.fbp");
     const double v = v_of(y, n);
     auto out_row = img.row(y);
     for (std::size_t a = 0; a < geo.n_angles; ++a) {
@@ -155,6 +187,7 @@ void fbp_accumulate_row(Image& accum, std::span<const float> filtered_row,
   const std::size_t n_det = geo.n_det;
 
   parallel::parallel_for(0, accum.ny(), [&](std::size_t y) {
+    hotguard::HotRegion region("projector.fbp_row");
     const double v = v_of(y, n);
     const double v_term = v * st;
     auto out_row = accum.row(y);
@@ -172,11 +205,13 @@ void fbp_accumulate_row(Image& accum, std::span<const float> filtered_row,
   });
 }
 
-void fbp_backproject_points(const Image& filtered_sino, const Geometry& geo,
-                            std::span<const double> us,
-                            std::span<const double> vs, std::span<float> out) {
+ALSFLOW_HOT void fbp_backproject_points(const Image& filtered_sino,
+                                        const Geometry& geo,
+                                        std::span<const double> us,
+                                        std::span<const double> vs,
+                                        std::span<float> out) {
   assert(us.size() == vs.size() && us.size() == out.size());
-  const Trig trig(geo);
+  const Trig trig = trig_tables(geo);
   const double center = geo.center_or_default();
   const double det_spacing = 2.0 / double(geo.n_det);
   const double scale = M_PI / double(geo.n_angles) / det_spacing;

@@ -19,9 +19,19 @@ namespace alsflow::tomo {
 // A x: image (n x n) -> sinogram (n_angles x n_det).
 Image forward_project(const Image& img, const Geometry& geo);
 
+// As forward_project, but writing into a caller-owned sinogram (zeroed
+// here). The iterative solvers reuse one buffer across iterations instead
+// of constructing a fresh Image per iteration.
+void forward_project_into(const Image& img, const Geometry& geo, Image& sino);
+
 // A^T y: sinogram -> image (n x n). Exact adjoint of forward_project.
 Image back_project_adjoint(const Image& sino, const Geometry& geo,
                            std::size_t n);
+
+// As back_project_adjoint, into a caller-owned n x n image. Every pixel is
+// assigned, so the target needs no zeroing.
+void back_project_adjoint_into(const Image& sino, const Geometry& geo,
+                               std::size_t n, Image& img);
 
 // FBP back-projector: gather with linear interpolation, scaled by
 // pi / n_angles * n_det / 2 (the 1/spacing factor; see filters.hpp).

@@ -6,6 +6,8 @@
 #include <complex>
 #include <vector>
 
+#include "common/hot_guard.hpp"
+#include "parallel/scratch.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tomo/fft.hpp"
 #include "tomo/projector.hpp"
@@ -41,9 +43,11 @@ Image reconstruct_gridrec(const Image& sinogram, const Geometry& geo,
   // along their central slices (projection-slice theorem).
   std::vector<std::complex<double>> grid(n_pad * n_pad, {0.0, 0.0});
 
-  // Splat one angle's spectrum into `out` (any accumulation grid).
+  // Splat one angle's spectrum into `out` (any accumulation grid). `row`
+  // is caller-provided n_pad scratch (overwritten), so the hot stripe
+  // bodies can pass worker-arena spans instead of allocating.
   const auto splat_angle = [&](std::size_t a,
-                               std::vector<std::complex<double>>& row,
+                               std::span<std::complex<double>> row,
                                std::vector<std::complex<double>>& out) {
     const double theta = geo.angle(a);
     const double ct = std::cos(theta), st = std::sin(theta);
@@ -88,12 +92,16 @@ Image reconstruct_gridrec(const Image& sinogram, const Geometry& geo,
     std::vector<std::complex<double>> row(n_pad);
     for (std::size_t a = 0; a < geo.n_angles; ++a) splat_angle(a, row, grid);
   } else {
+    // Per-stripe accumulation grids, sized (value-initialized to zero)
+    // before the fan-out so the stripe bodies never touch the allocator.
     std::vector<std::vector<std::complex<double>>> partial(n_stripes - 1);
+    for (auto& p : partial) p.resize(n_pad * n_pad);
     const std::size_t stride = (geo.n_angles + n_stripes - 1) / n_stripes;
     parallel::parallel_for(0, n_stripes, [&](std::size_t s) {
+      auto row = parallel::WorkerScratch::complex_buffer(
+          parallel::WorkerScratch::kGridrecRow, n_pad);
+      hotguard::HotRegion region("gridrec.splat");
       auto& target = s == 0 ? grid : partial[s - 1];
-      if (s != 0) target.assign(n_pad * n_pad, {0.0, 0.0});
-      std::vector<std::complex<double>> row(n_pad);
       const std::size_t a_end = std::min(geo.n_angles, (s + 1) * stride);
       for (std::size_t a = s * stride; a < a_end; ++a) {
         splat_angle(a, row, target);
@@ -101,6 +109,7 @@ Image reconstruct_gridrec(const Image& sinogram, const Geometry& geo,
     });
     parallel::parallel_for_chunks(
         0, n_pad * n_pad, [&](std::size_t b, std::size_t e) {
+          hotguard::HotRegion region("gridrec.merge");
           for (const auto& p : partial) {
             for (std::size_t i = b; i < e; ++i) grid[i] += p[i];
           }
@@ -120,6 +129,7 @@ Image reconstruct_gridrec(const Image& sinogram, const Geometry& geo,
     return std::size_t(i);
   };
   parallel::parallel_for(0, n, [&](std::size_t y) {
+    hotguard::HotRegion region("gridrec.resample");
     const double v = (1.0 - 2.0 * (double(y) + 0.5) / double(n)) / det_spacing;
     for (std::size_t x = 0; x < n; ++x) {
       const double u =
@@ -149,6 +159,7 @@ void clamp_non_negative(Image& img) {
   auto data = img.span();
   parallel::parallel_for_chunks(0, data.size(),
                                 [&](std::size_t b, std::size_t e) {
+                                  hotguard::HotRegion region("recon.clamp");
                                   for (std::size_t i = b; i < e; ++i) {
                                     data[i] = std::max(data[i], 0.0f);
                                   }
@@ -166,10 +177,16 @@ Image reconstruct_sirt(const Image& sinogram, const Geometry& geo,
   Image col_sums = back_project_adjoint(ones_sino, geo, n);
 
   Image x(n, n, 0.0f);
+  // Iteration temporaries hoisted out of the loop: forward/adjoint passes
+  // write into these reused buffers instead of constructing Images per
+  // iteration (the allocations the hot-path contract flagged).
+  Image residual(geo.n_angles, geo.n_det);
+  Image update(n, n);
   for (int it = 0; it < n_iterations; ++it) {
-    Image residual = forward_project(x, geo);
+    forward_project_into(x, geo, residual);
     parallel::parallel_for_chunks(
         0, residual.size(), [&](std::size_t b, std::size_t e) {
+          hotguard::HotRegion region("sirt.residual");
           for (std::size_t i = b; i < e; ++i) {
             const float rs = row_sums.data()[i];
             residual.data()[i] =
@@ -177,9 +194,10 @@ Image reconstruct_sirt(const Image& sinogram, const Geometry& geo,
                           : 0.0f;
           }
         });
-    Image update = back_project_adjoint(residual, geo, n);
+    back_project_adjoint_into(residual, geo, n, update);
     parallel::parallel_for_chunks(
         0, x.size(), [&](std::size_t b, std::size_t e) {
+          hotguard::HotRegion region("sirt.update");
           for (std::size_t i = b; i < e; ++i) {
             const float cs = col_sums.data()[i];
             if (cs > kEps) x.data()[i] += update.data()[i] / cs;
@@ -196,19 +214,25 @@ Image reconstruct_mlem(const Image& sinogram, const Geometry& geo,
   Image sens = back_project_adjoint(ones_sino, geo, n);  // A^T 1
 
   Image x(n, n, 1.0f);
+  // Same hoisting as reconstruct_sirt: one projection and one ratio buffer
+  // reused across all iterations.
+  Image proj(geo.n_angles, geo.n_det);
+  Image ratio(n, n);
   for (int it = 0; it < n_iterations; ++it) {
-    Image proj = forward_project(x, geo);
+    forward_project_into(x, geo, proj);
     parallel::parallel_for_chunks(
         0, proj.size(), [&](std::size_t cb, std::size_t ce) {
+          hotguard::HotRegion region("mlem.ratio");
           for (std::size_t i = cb; i < ce; ++i) {
             const float p = proj.data()[i];
             const float b = std::max(sinogram.data()[i], 0.0f);
             proj.data()[i] = p > kEps ? b / p : 0.0f;
           }
         });
-    Image ratio = back_project_adjoint(proj, geo, n);
+    back_project_adjoint_into(proj, geo, n, ratio);
     parallel::parallel_for_chunks(
         0, x.size(), [&](std::size_t cb, std::size_t ce) {
+          hotguard::HotRegion region("mlem.update");
           for (std::size_t i = cb; i < ce; ++i) {
             const float s = sens.data()[i];
             x.data()[i] = s > kEps ? x.data()[i] * ratio.data()[i] / s : 0.0f;
@@ -256,6 +280,10 @@ Volume reconstruct_volume(const std::vector<Image>& sinograms,
   // their own parallel_for calls; the reentrant pool work-shares both
   // levels, so this scales whether there are many slices or few.
   parallel::parallel_for(0, sinograms.size(), [&](std::size_t z) {
+    // Each slice body runs complete kernels: they allocate their outputs
+    // and nest their own parallel_for fan-outs; the hot regions *inside*
+    // those kernels hold the purity contract.
+    // hotcheck:allow hot-alloc,hot-block,hot-throw slice-level decomposition
     vol.set_slice(z, reconstruct_slice(sinograms[z], geo, n, opts));
   });
   return vol;

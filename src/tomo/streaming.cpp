@@ -1,8 +1,11 @@
 #include "tomo/streaming.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
+#include "common/hot_guard.hpp"
+#include "parallel/scratch.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tomo/projector.hpp"
 
@@ -33,8 +36,17 @@ void StreamingReconstructor::on_frame(std::size_t angle_index,
   assert(!config_.normalize || have_reference_);
 
   // Normalize + filter every detector row now, overlapping acquisition.
+  // Both scratch buffers come from the worker arena, acquired before the
+  // hot region opens: the per-frame path is allocation-free.
+  const std::size_t n_det = config_.geo.n_det;
   parallel::parallel_for(0, config_.n_rows, [&](std::size_t z) {
-    std::vector<float> row(frame.row(z).begin(), frame.row(z).end());
+    auto row = parallel::WorkerScratch::float_buffer(
+        parallel::WorkerScratch::kStreamRow, n_det);
+    auto pad = parallel::WorkerScratch::complex_buffer(
+        parallel::WorkerScratch::kFilterPad, filter_.n_pad());
+    hotguard::HotRegion region("streaming.on_frame");
+    auto src = frame.row(z);
+    std::copy(src.begin(), src.end(), row.begin());
     if (config_.normalize) {
       auto dark_row = dark_.row(z);
       auto flat_row = flat_.row(z);
@@ -44,7 +56,7 @@ void StreamingReconstructor::on_frame(std::size_t angle_index,
         row[t] = -std::log(trans);
       }
     }
-    filter_.apply(row, sinos_[z].row(angle_index));
+    filter_.apply_span(row, sinos_[z].row(angle_index), pad);
   });
 
   if (!seen_[angle_index]) {
@@ -62,6 +74,9 @@ Volume StreamingReconstructor::reconstruct_all_rows() const {
   const std::size_t n = config_.recon_width();
   Volume vol(config_.n_rows, n, n);
   parallel::parallel_for(0, config_.n_rows, [&](std::size_t z) {
+    // Row-level decomposition, same shape as reconstruct_volume: the body
+    // runs a whole FBP kernel whose inner hot regions hold the contract.
+    // hotcheck:allow hot-alloc row-level decomposition
     vol.set_slice(z, reconstruct_row(z));
   });
   return vol;
@@ -86,6 +101,13 @@ OrthoPreview StreamingReconstructor::finalize() const {
     vs[x] = 0.0;
   }
   parallel::parallel_for(0, n_rows, [&](std::size_t z) {
+    // Warm the trig arena before the region opens; fbp_backproject_points
+    // reacquires the same slots growth-free inside.
+    parallel::WorkerScratch::double_buffer(parallel::WorkerScratch::kTrigCos,
+                                           config_.geo.n_angles);
+    parallel::WorkerScratch::double_buffer(parallel::WorkerScratch::kTrigSin,
+                                           config_.geo.n_angles);
+    hotguard::HotRegion region("streaming.preview");
     fbp_backproject_points(sinos_[z], config_.geo, us, vs, preview.xz.row(z));
   });
 
@@ -96,6 +118,11 @@ OrthoPreview StreamingReconstructor::finalize() const {
     vs2[y] = 1.0 - 2.0 * (double(y) + 0.5) / double(n);
   }
   parallel::parallel_for(0, n_rows, [&](std::size_t z) {
+    parallel::WorkerScratch::double_buffer(parallel::WorkerScratch::kTrigCos,
+                                           config_.geo.n_angles);
+    parallel::WorkerScratch::double_buffer(parallel::WorkerScratch::kTrigSin,
+                                           config_.geo.n_angles);
+    hotguard::HotRegion region("streaming.preview");
     fbp_backproject_points(sinos_[z], config_.geo, us2, vs2,
                            preview.yz.row(z));
   });

@@ -29,6 +29,14 @@ Rules (over src/**, comments stripped before matching):
                  some tracer begin() site. Nothing ties these string
                  literals together at compile time, so a rename on one
                  side silently unwires the SLO or the stage attribution.
+  vector-value-capture
+                 no parallel_for / parallel_for_chunks lambda may capture
+                 a std::vector by value: every chunk execution copies the
+                 whole buffer (an allocation the hot-path purity contract
+                 forbids — see tools/alsflow_hotcheck.py). Capture by
+                 reference or pass a std::span. Init-captures and default
+                 captures are out of scope (a [=] that copies a vector is
+                 caught at run time by the hot-guard counters).
 
 Per-file allowlist: ALLOW below. A single line can be exempted with a
 trailing  // lint:allow <rule>  comment plus a reason.
@@ -63,6 +71,7 @@ ALLOW = {
     "stdout-logging": set(),
     "pragma-once": set(),
     "event-vocab": set(),
+    "vector-value-capture": set(),
 }
 
 # rule -> list of (compiled regex, human reason). Negative lookbehind
@@ -203,6 +212,74 @@ def check_event_vocab(src, findings):
                     raw_line, rel=f"src/{rel}"))
 
 
+# --- vector-value-capture: per-chunk buffer copies ------------------------
+# A parallel_for lambda that captures a std::vector by value copies the
+# whole buffer once per chunk/task — exactly the per-iteration allocation
+# the hot-path purity contract forbids, but invisible to hotcheck because
+# the copy happens in the closure constructor, not the body. This pass
+# collects every identifier declared as vector<...> in the file (values
+# and references both: capturing a reference by value still copies the
+# referent) and flags plain by-value captures of those names in
+# parallel_for / parallel_for_chunks call sites.
+
+VECTOR_OPEN = re.compile(r"(?<![\w])vector\s*<")
+CAPTURE_SINK = re.compile(r"(?<![\w])parallel_for(?:_chunks)?\s*\(")
+CAPTURE_LIST = re.compile(r"[(,]\s*\[([^\]]*)\]")
+
+
+def vector_decl_names(code):
+    """Identifiers declared with type vector<...> (value or reference)."""
+    names = set()
+    for m in VECTOR_OPEN.finditer(code):
+        i, depth = m.end(), 1
+        while i < len(code) and depth:
+            if code[i] == "<":
+                depth += 1
+            elif code[i] == ">":
+                depth -= 1
+            i += 1
+        dm = re.match(r"\s*&?\s*(\w+)\s*[;,=({\[)]", code[i:i + 80])
+        if dm:
+            names.add(dm.group(1))
+    return names
+
+
+def check_vector_value_capture(src, findings):
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        rel = path.relative_to(src).as_posix()
+        if rel in ALLOW["vector-value-capture"]:
+            continue
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = raw.splitlines()
+        code = strip_comments(raw)
+        vec_names = vector_decl_names(code)
+        if not vec_names:
+            continue
+        for sm in CAPTURE_SINK.finditer(code):
+            cm = CAPTURE_LIST.search(code, sm.end(), sm.end() + 400)
+            if not cm:
+                continue
+            line_no = code.count("\n", 0, cm.start(1)) + 1
+            raw_line = raw_lines[line_no - 1] if line_no <= len(raw_lines) \
+                else ""
+            s = SUPPRESS.search(raw_line)
+            if s and s.group(1) == "vector-value-capture":
+                continue
+            for item in cm.group(1).split(","):
+                name = item.strip()
+                if not re.fullmatch(r"\w+", name) or name == "this":
+                    continue  # &ref, init-capture, default, *this
+                if name in vec_names:
+                    findings.append(Finding(
+                        path, line_no, "vector-value-capture",
+                        f"parallel_for lambda captures std::vector "
+                        f"'{name}' by value — every chunk copies the "
+                        f"buffer; capture [&{name}] or pass a std::span",
+                        raw_line, rel=f"src/{rel}"))
+
+
 def strip_comments(text):
     """Blank out // and /* */ comments, preserving line structure."""
     out = []
@@ -330,6 +407,7 @@ def run(root, fmt="text"):
         for f in findings[before:]:
             f.rel = f"src/{rel}"
     check_event_vocab(src, findings)
+    check_vector_value_capture(src, findings)
     n_files = sum(1 for _ in src.rglob("*.cpp")) + \
         sum(1 for _ in src.rglob("*.hpp"))
     if fmt == "json":
@@ -410,6 +488,74 @@ VOCAB_GOOD_FILES = {
 }
 
 
+# Synthetic trees for the vector-value-capture pass. Bad: a vector
+# captured by value at a parallel_for site (declared as a parameter) and
+# one declared as a local, multi-line intro included. Good: reference
+# captures, scalar value captures, a value capture in a non-pool lambda,
+# and a suppressed line.
+CAPTURE_BAD_FILES = {
+    "tomo/kernel.cpp":
+        '#include <vector>\n'
+        'void f(std::vector<float> weights, std::size_t n) {\n'
+        '  parallel::parallel_for(0, n, [weights](std::size_t i) {\n'
+        '    use(weights[i]);\n'
+        '  });\n'
+        '}\n'
+        'void g(std::size_t n) {\n'
+        '  std::vector<double> table(n);\n'
+        '  parallel::parallel_for_chunks(\n'
+        '      0, n, [table](std::size_t b, std::size_t e) {\n'
+        '    use(table[b]);\n'
+        '  });\n'
+        '}\n',
+}
+CAPTURE_GOOD_FILES = {
+    "tomo/kernel.cpp":
+        '#include <vector>\n'
+        'void f(const std::vector<float>& weights, std::size_t n) {\n'
+        '  double scale = 2.0;\n'
+        '  parallel::parallel_for(0, n, [&weights, scale](std::size_t i) {\n'
+        '    use(weights[i] * scale);\n'
+        '  });\n'
+        '  parallel::parallel_for(0, n, [&](std::size_t i) {\n'
+        '    use(weights[i]);\n'
+        '  });\n'
+        '  auto cold = [weights]() { use(weights[0]); };\n'
+        '  cold();\n'
+        '  parallel::parallel_for(0, n, [weights](std::size_t i) {  // lint:allow vector-value-capture small and immutable\n'
+        '    use(weights[i]);\n'
+        '  });\n'
+        '}\n',
+}
+
+
+def capture_selftest(failures):
+    import tempfile
+
+    def run_tree(files):
+        with tempfile.TemporaryDirectory() as td:
+            src = Path(td) / "src"
+            for rel, content in files.items():
+                p = src / rel
+                p.parent.mkdir(parents=True, exist_ok=True)
+                p.write_text(content, encoding="utf-8")
+            findings = []
+            check_vector_value_capture(src, findings)
+            return findings
+
+    bad = run_tree(CAPTURE_BAD_FILES)
+    want_lines = {3, 10}  # [weights] and the multi-line [table] intro
+    got_lines = {f.line_no for f in bad}
+    if got_lines != want_lines or len(bad) != 2:
+        failures.append(
+            f"[vector-value-capture] bad tree: expected findings on lines "
+            f"{sorted(want_lines)}, got {[f.render() for f in bad]}")
+    good = run_tree(CAPTURE_GOOD_FILES)
+    if good:
+        failures.append("[vector-value-capture] good tree should be "
+                        "silent: " + "; ".join(f.render() for f in good))
+
+
 def vocab_selftest(failures):
     import tempfile
 
@@ -442,6 +588,7 @@ def vocab_selftest(failures):
 def selftest():
     failures = []
     vocab_selftest(failures)
+    capture_selftest(failures)
     for rule, snippets in BAD_SNIPPETS.items():
         for snippet in snippets:
             code = strip_comments(snippet)
@@ -457,7 +604,8 @@ def selftest():
     print("alsflow_lint --selftest: " +
           ("FAIL" if failures else "OK "
            f"({sum(len(s) for s in BAD_SNIPPETS.values())} bad, "
-           f"{len(GOOD_SNIPPETS)} good snippets, 2 vocab trees)"))
+           f"{len(GOOD_SNIPPETS)} good snippets, 2 vocab trees, "
+           "2 capture trees)"))
     return 1 if failures else 0
 
 
