@@ -204,6 +204,23 @@ RunDatabase::TaskQuantiles RunDatabase::task_duration_quantiles(
   return q;
 }
 
+std::vector<std::pair<Seconds, double>> RunDatabase::completed_task_durations(
+    const std::string& flow_name, const std::string& task_name) const {
+  LockGuard lock(mu_);
+  std::vector<std::pair<Seconds, double>> out;
+  for (const auto& t : task_runs_) {
+    if (t.task_name != task_name) continue;
+    if (t.state != RunState::Completed) continue;
+    if (t.started_at < 0.0 || t.finished_at < 0.0) continue;
+    if (!flow_name.empty()) {
+      auto it = runs_.find(t.flow_run_id);
+      if (it == runs_.end() || it->second.flow_name != flow_name) continue;
+    }
+    out.emplace_back(t.finished_at, t.finished_at - t.started_at);
+  }
+  return out;
+}
+
 std::vector<std::string> RunDatabase::task_names(
     const std::string& flow_name) const {
   LockGuard lock(mu_);
@@ -218,6 +235,68 @@ std::vector<std::string> RunDatabase::task_names(
     }
   }
   return out;
+}
+
+Summary merged_duration_summary(const std::vector<const RunDatabase*>& dbs,
+                                const std::string& flow_name,
+                                std::size_t last_n, RunState state) {
+  // Gather matching runs shard by shard (each shard locks itself), then
+  // order globally by completion time with deterministic tie-breaks.
+  std::vector<FlowRunRecord> matching;
+  for (const RunDatabase* db : dbs) {
+    if (db == nullptr) continue;
+    for (auto& rec : db->runs_in_state(flow_name, state)) {
+      matching.push_back(std::move(rec));
+    }
+  }
+  std::sort(matching.begin(), matching.end(),
+            [](const FlowRunRecord& a, const FlowRunRecord& b) {
+              if (a.finished_at != b.finished_at) {
+                return a.finished_at < b.finished_at;
+              }
+              if (a.created_at != b.created_at) {
+                return a.created_at < b.created_at;
+              }
+              return a.id < b.id;
+            });
+  std::vector<double> durations;
+  const std::size_t start =
+      matching.size() > last_n ? matching.size() - last_n : 0;
+  for (std::size_t i = start; i < matching.size(); ++i) {
+    durations.push_back(matching[i].duration());
+  }
+  return summarize(std::move(durations));
+}
+
+RunDatabase::TaskQuantiles merged_task_duration_quantiles(
+    const std::vector<const RunDatabase*>& dbs, const std::string& flow_name,
+    const std::string& task_name, std::size_t last_n) {
+  std::vector<std::pair<Seconds, double>> samples;
+  for (const RunDatabase* db : dbs) {
+    if (db == nullptr) continue;
+    for (auto& s : db->completed_task_durations(flow_name, task_name)) {
+      samples.push_back(s);
+    }
+  }
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> durations;
+  const std::size_t start =
+      samples.size() > last_n ? samples.size() - last_n : 0;
+  for (std::size_t i = start; i < samples.size(); ++i) {
+    durations.push_back(samples[i].second);
+  }
+  RunDatabase::TaskQuantiles q;
+  q.n = durations.size();
+  if (q.n == 0) return q;
+  // Identical bucket geometry to the single-DB query, so a merged shard
+  // set reproduces the unsharded golden numbers exactly.
+  telemetry::Histogram hist(
+      {0.5, 1, 2, 5, 10, 20, 40, 80, 160, 320, 640, 1280, 2560, 5120});
+  for (double d : durations) hist.observe(d);
+  q.p50 = hist.quantile(0.50);
+  q.p95 = hist.quantile(0.95);
+  q.p99 = hist.quantile(0.99);
+  return q;
 }
 
 }  // namespace alsflow::flow

@@ -8,6 +8,8 @@
 // submission — the paper's core portability claim.
 #pragma once
 
+#include <cstddef>
+#include <deque>
 #include <memory>
 #include <string>
 
@@ -45,15 +47,44 @@ struct ReconJobOutcome {
   Seconds total() const { return finished_at - submitted_at; }
 };
 
+// Structured queue-state snapshot a scheduler reads instead of scraping
+// telemetry histograms: recent queue-wait quantiles over a sliding window
+// of completed jobs, plus the live in-flight count (submitted through
+// run(), not yet reported back — held-at-gate outage submissions count,
+// which is exactly what a placement decision needs to see).
+struct QueueStats {
+  std::size_t completed = 0;       // jobs that reported back, ever
+  std::size_t inflight = 0;        // submitted, not yet finished
+  Seconds last_queue_wait = 0.0;   // most recent completed job's wait
+  Seconds queue_wait_p50 = 0.0;    // over the sliding window
+  Seconds queue_wait_p95 = 0.0;
+  Seconds exec_mean = 0.0;         // mean execute time over the window
+};
+
 class ComputeAdapter {
  public:
   virtual ~ComputeAdapter() = default;
   // Wrapper over the per-facility coroutine impl (see flow/engine.hpp on
-  // GCC 12 and prvalue coroutine arguments).
+  // GCC 12 and prvalue coroutine arguments). Also the in-flight accounting
+  // seam: every submission path goes through here, so queue_stats() sees
+  // jobs the moment they enter the adapter, including ones parked at the
+  // availability gate during an outage.
   sim::Future<ReconJobOutcome> run(ReconJob job) {
-    return run_impl(std::move(job));
+    ++inflight_;
+    auto fut = run_impl(std::move(job));
+    if (fut.done()) {
+      --inflight_;
+    } else {
+      // Sim-thread only (like all adapter state); the adapter outlives
+      // every job it runs.
+      fut.state()->add_callback([this] { --inflight_; });
+    }
+    return fut;
   }
   virtual std::string facility() const = 0;
+
+  // Live queue-state snapshot (see QueueStats). Sim-thread only.
+  QueueStats queue_stats() const;
 
   // --- chaos seam: facility health (src/chaos drives this) ---
   //
@@ -83,6 +114,14 @@ class ComputeAdapter {
 
  private:
   sim::Future<sim::Unit> ensure_available_impl();
+
+  // Sliding-window queue-wait / execute-time samples behind queue_stats().
+  static constexpr std::size_t kStatsWindow = 64;
+  std::size_t inflight_ = 0;
+  std::size_t completed_ = 0;
+  Seconds last_queue_wait_ = 0.0;
+  std::deque<Seconds> wait_window_;
+  std::deque<Seconds> exec_window_;
 
   bool available_ = true;
   // One gate per outage window: held submissions await the current gate;

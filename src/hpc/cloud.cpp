@@ -6,6 +6,7 @@ sim::Future<ReconJobOutcome> CloudBurstAdapter::run_impl(ReconJob job) {
   ReconJobOutcome outcome;
   outcome.facility = facility();
   outcome.submitted_at = eng_.now();
+  co_await ensure_available();  // provider region outage = held submissions
 
   ++instances_;
   co_await sim::delay(eng_, tuning_.boot_latency);
@@ -22,6 +23,7 @@ sim::Future<ReconJobOutcome> CloudBurstAdapter::run_impl(ReconJob job) {
   // Billed from boot to teardown.
   dollars_ += (outcome.finished_at - outcome.submitted_at) / 3600.0 *
               tuning_.dollars_per_hour;
+  record_job_telemetry(job, outcome);
   co_return outcome;
 }
 

@@ -151,6 +151,13 @@ std::map<std::string, double> HealthMonitor::health_scores(
   return slos_.health_scores(now);
 }
 
+std::function<double(Seconds)> HealthMonitor::health_probe(
+    std::string target) const {
+  return [this, target = std::move(target)](Seconds now) {
+    return health(target, now);
+  };
+}
+
 std::string HealthMonitor::slo_summary(Seconds now) const {
   LockGuard lock(m_);
   return slos_.summary(now);

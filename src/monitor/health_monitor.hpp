@@ -75,6 +75,11 @@ class HealthMonitor final : public telemetry::EventSink {
   std::vector<Alert> active_alerts() const;
   double health(const std::string& target, Seconds now) const;
   std::map<std::string, double> health_scores(Seconds now) const;
+  // Bound health getter for one target, in the shape the scheduler's
+  // FacilityDirectory consumes (sched::FacilityInfo::health): callable on
+  // every placement decision, capturing this monitor by pointer — the
+  // monitor must outlive the directory it feeds.
+  std::function<double(Seconds)> health_probe(std::string target) const;
   std::string slo_summary(Seconds now) const;
 
   // Incident snapshots (flight-recorder JSON), in alert-fire order.

@@ -428,6 +428,20 @@ std::vector<SloSpec> default_slos(const DefaultSloConfig& cfg) {
   out.push_back(s);
 
   s = SloSpec{};
+  s.name = "sched_turnaround";
+  s.component = "sched";
+  s.kind = "turnaround";
+  s.stage = "placement";
+  // Per-target: the event target is the winning facility, so burn is
+  // attributed to the site that actually served the scan.
+  s.objective = cfg.sched_turnaround_objective;
+  s.target_fraction = cfg.sched_target_fraction;
+  s.min_samples = cfg.min_samples;
+  s.rules = rules;
+  s.value_buckets = {60, 120, 300, 600, 1200, 2400, 4800, 9600};
+  out.push_back(s);
+
+  s = SloSpec{};
   s.name = "serve_queue_wait";
   s.component = "serve";
   s.kind = "queue_wait";

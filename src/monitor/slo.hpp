@@ -196,6 +196,10 @@ struct DefaultSloConfig {
   // serve: per-tenant queue wait (the p99 objective as a good/bad floor).
   Seconds serve_wait_objective = 0.25;
   double serve_target_fraction = 0.99;
+  // sched: federated-scheduler scan turnaround (submit -> winning
+  // placement completed, failovers and hedges included).
+  Seconds sched_turnaround_objective = 7200.0;
+  double sched_target_fraction = 0.90;
   // Burn windows shared by every spec.
   Seconds fast_window = 600.0;   // pages
   double fast_burn = 3.0;

@@ -59,7 +59,11 @@ Facility::Facility(FacilityConfig config)
       mirror_(eng_, detector_.ioc_channel(), "pva-mirror"),
       file_writer_(eng_, mirror_.channel(), acq_server_),
       streaming_(eng_, mirror_.channel(), esnet_nersc_, zmq_back_,
-                 config.compute) {
+                 config.compute),
+      cloud_s3_("cloud-s3", storage::Tier::Eagle, 2000 * TiB),
+      esnet_cloud_(eng_, "esnet-cloud", gbps(config.esnet_cloud_gbps), 0.04),
+      cloud_(eng_, config.compute),
+      scheduler_(eng_, flows_, directory_, placement_policy_) {
   // Globus routes between every endpoint pair in use.
   globus_.add_route("als-acq", "als-data", &lan_);
   globus_.add_route("als-data", "nersc-cfs", &esnet_nersc_);
@@ -67,6 +71,8 @@ Facility::Facility(FacilityConfig config)
   globus_.add_route("als-data", "alcf-eagle", &esnet_alcf_);
   globus_.add_route("alcf-eagle", "als-data", &esnet_alcf_);
   globus_.add_route("nersc-cfs", "nersc-hpss", &esnet_nersc_);
+  globus_.add_route("als-data", "cloud-s3", &esnet_cloud_);
+  globus_.add_route("cloud-s3", "als-data", &esnet_cloud_);
 
   // Paper: high concurrency for scan detection, lower for HPC submission
   // (but at least the steady-state number of in-flight reconstructions).
@@ -75,6 +81,7 @@ Facility::Facility(FacilityConfig config)
   flows_.set_pool_limit("default", 16);
   flows_.set_pool_limit("hpc-nersc", 8);
   flows_.set_pool_limit("hpc-alcf", 8);
+  flows_.set_pool_limit("hpc-cloud", 8);
 
   file_writer_.on_complete(
       [this](const data::ScanMetadata& scan, const std::string& path) {
@@ -82,7 +89,45 @@ Facility::Facility(FacilityConfig config)
         if (it != write_done_.end()) it->second.trigger(path);
       });
 
+  // The facility recon branches, as route-table rows. Task names, labels,
+  // remote paths, and staging formulas are pinned by the golden chaos
+  // campaign — a row must reproduce its hand-written predecessor exactly.
+  nersc_route_ = {"nersc",          "nersc_recon_flow",
+                  "hpc-nersc",      &cfs_,
+                  &nersc_,          &esnet_nersc_,
+                  "globus_to_cfs",  "sfapi_recon_job",
+                  "nersc:raw_to_cfs", "nersc:recon_back",
+                  "/recon/nersc/",  /*stage_in_copy=*/true};
+  alcf_route_ = {"alcf",            "alcf_recon_flow",
+                 "hpc-alcf",        &eagle_,
+                 &alcf_,            &esnet_alcf_,
+                 "globus_to_eagle", "globus_compute_recon",
+                 "alcf:raw_to_eagle", "alcf:recon_back",
+                 "/recon/alcf/",    /*stage_in_copy=*/false};
+  cloud_route_ = {"cloud",          "cloud_recon_flow",
+                  "hpc-cloud",      &cloud_s3_,
+                  &cloud_,          &esnet_cloud_,
+                  "globus_to_cloud", "cloud_recon_job",
+                  "cloud:raw_to_s3", "cloud:recon_back",
+                  "/recon/cloud/",  /*stage_in_copy=*/false};
+
   register_flows();
+
+  // Placement targets for Scheduled scans: every route is a candidate;
+  // capacity hints mirror each site's concurrency (nodes, pilot workers,
+  // an elastic-but-slower cloud pool).
+  auto add_target = [this](const ReconRoute& route, double capacity) {
+    sched::FacilityInfo info;
+    info.name = route.facility;
+    info.flow_name = route.flow_name;
+    info.adapter = route.adapter;
+    info.link = route.link;
+    info.capacity_hint = capacity;
+    directory_.add(std::move(info));
+  };
+  add_target(nersc_route_, double(config.perlmutter_nodes));
+  add_target(alcf_route_, double(config.polaris_workers));
+  add_target(cloud_route_, 16.0);
 
   // Pre-flight: every shipped flow graph must validate clean before the
   // first scan. A malformed graph is a programming error, caught here in
@@ -112,39 +157,32 @@ void Facility::register_flows() {
       [this](flow::FlowContext ctx) { return new_file_832(ctx); }, staging,
       staging_spec);
 
-  flow::FlowOptions hpc_opts;
-  hpc_opts.max_retries = 1;
-  hpc_opts.retry_delay = 60.0;
-  hpc_opts.work_pool = "hpc-nersc";
-  flow::FlowSpec nersc_spec;
-  nersc_spec.tasks = {
-      task_spec("nersc_recon_flow", "globus_to_cfs", {}, true, false),
-      task_spec("nersc_recon_flow", "sfapi_recon_job", {"globus_to_cfs"},
-                false, true),
-      task_spec("nersc_recon_flow", "globus_back_to_beamline",
-                {"sfapi_recon_job"}, true, false),
-      task_spec("nersc_recon_flow", "scicat_derived",
-                {"globus_back_to_beamline"}, false, false),
-  };
-  flows_.register_flow(
-      "nersc_recon_flow",
-      [this](flow::FlowContext ctx) { return nersc_recon_flow(ctx); },
-      hpc_opts, nersc_spec);
-  hpc_opts.work_pool = "hpc-alcf";
-  flow::FlowSpec alcf_spec;
-  alcf_spec.tasks = {
-      task_spec("alcf_recon_flow", "globus_to_eagle", {}, true, false),
-      task_spec("alcf_recon_flow", "globus_compute_recon",
-                {"globus_to_eagle"}, false, true),
-      task_spec("alcf_recon_flow", "globus_back_to_beamline",
-                {"globus_compute_recon"}, true, false),
-      task_spec("alcf_recon_flow", "scicat_derived",
-                {"globus_back_to_beamline"}, false, false),
-  };
-  flows_.register_flow(
-      "alcf_recon_flow",
-      [this](flow::FlowContext ctx) { return alcf_recon_flow(ctx); },
-      hpc_opts, alcf_spec);
+  // Every facility branch is one registration of the generic route flow:
+  // the declared graph and the executed tasks come from the same row, so
+  // a route cannot drift from its spec.
+  for (const ReconRoute* route :
+       {&nersc_route_, &alcf_route_, &cloud_route_}) {
+    flow::FlowOptions hpc_opts;
+    hpc_opts.max_retries = 1;
+    hpc_opts.retry_delay = 60.0;
+    hpc_opts.work_pool = route->pool;
+    flow::FlowSpec spec;
+    spec.tasks = {
+        task_spec(route->flow_name, route->to_remote_task, {}, true, false),
+        task_spec(route->flow_name, route->recon_task,
+                  {route->to_remote_task}, false, true),
+        task_spec(route->flow_name, "globus_back_to_beamline",
+                  {route->recon_task}, true, false),
+        task_spec(route->flow_name, "scicat_derived",
+                  {"globus_back_to_beamline"}, false, false),
+    };
+    flows_.register_flow(
+        route->flow_name,
+        [this, route](flow::FlowContext ctx) {
+          return recon_route_flow(ctx, route);
+        },
+        hpc_opts, spec);
+  }
 
   flow::FlowOptions archive_opts;
   archive_opts.max_retries = 2;
@@ -241,69 +279,71 @@ sim::Future<Status> Facility::new_file_832(flow::FlowContext ctx) {
                               keyed(ctx, "scicat_ingest"));
 }
 
-Seconds Facility::nersc_staging_seconds(const data::ScanMetadata& scan) const {
-  // In-job bash copy CFS -> pscratch, then writing the TIFF stack + Zarr
-  // pyramid (~1.3x the volume for the multiscale levels) back to CFS.
-  const double stage_in =
-      double(scan.raw_bytes()) / config_.pscratch_stage_rate;
-  const double write_out =
-      double(scan.recon_bytes()) * 1.3 / config_.output_write_rate;
-  return stage_in + write_out;
-}
-
-sim::Future<Status> Facility::nersc_recon_flow(flow::FlowContext ctx) {
+sim::Future<Status> Facility::recon_route_flow(flow::FlowContext ctx,
+                                               const ReconRoute* route) {
   const data::ScanMetadata scan = scan_for(ctx.parameters);
   const std::string raw_path = file_writer_.path_for(scan);
-  const std::string cfs_raw = "/als/raw/" + scan.scan_id + ".ah5";
-  const std::string cfs_recon = "/als/recon/" + scan.scan_id + ".zarr";
-  const std::string back_path = "/recon/nersc/" + scan.scan_id + ".zarr";
+  const std::string remote_raw = "/als/raw/" + scan.scan_id + ".ah5";
+  const std::string remote_recon = "/als/recon/" + scan.scan_id + ".zarr";
+  const std::string back_path = route->back_prefix + scan.scan_id + ".zarr";
 
-  // Task 1: Globus transfer of the raw file to the NERSC CFS.
+  // Task 1: Globus transfer of the raw file to the facility-side store.
   std::function<sim::Future<Status>()> moved_task =
-      [this, raw_path, cfs_raw, run_id = ctx.run_id]() -> sim::Future<Status> {
+      [this, route, raw_path, remote_raw,
+       run_id = ctx.run_id]() -> sim::Future<Status> {
         transfer::TransferSpec spec;
         spec.src = &beamline_data_;
-        spec.dst = &cfs_;
-        spec.files = {{raw_path, cfs_raw}};
+        spec.dst = route->remote;
+        spec.files = {{raw_path, remote_raw}};
         spec.verify_checksum = config_.verify_checksums;
-        spec.label = "nersc:raw_to_cfs";
+        spec.label = route->out_label;
         spec.trace_parent = flows_.task_span(run_id);
         auto outcome = co_await globus_.submit(std::move(spec));
         co_return outcome.status;
       };
-  Status moved = co_await flows_.run_task(ctx, "globus_to_cfs", moved_task,
-                              keyed(ctx, "globus_to_cfs"));
+  Status moved = co_await flows_.run_task(ctx, route->to_remote_task, moved_task,
+                              keyed(ctx, route->to_remote_task.c_str()));
   if (!moved.ok()) co_return moved;
 
-  // Task 2: SFAPI -> Slurm realtime job (podman container; stages to
-  // pscratch, runs TomoPy-equivalent gridrec, writes TIFF + Zarr).
+  // Task 2: the facility's reconstruction submission (Slurm realtime job
+  // via SFAPI, Globus Compute function, or a cloud burst instance),
+  // writing the TIFF stack + Zarr pyramid to the facility store. NERSC
+  // additionally pays the in-job CFS -> pscratch staging copy.
   std::function<sim::Future<Status>()> recon_task =
-      [this, scan, cfs_recon, run_id = ctx.run_id]() -> sim::Future<Status> {
+      [this, route, scan, remote_recon,
+       run_id = ctx.run_id]() -> sim::Future<Status> {
         hpc::ReconJob job;
         job.name = "tomopy-" + scan.scan_id;
         job.nz = scan.rows;
         job.n = scan.cols;
         job.algorithm = tomo::Algorithm::Gridrec;
-        job.staging_seconds = nersc_staging_seconds(scan);
+        job.staging_seconds = double(scan.recon_bytes()) * 1.3 /
+                              config_.output_write_rate;
+        if (route->stage_in_copy) {
+          job.staging_seconds +=
+              double(scan.raw_bytes()) / config_.pscratch_stage_rate;
+        }
         job.trace_parent = flows_.task_span(run_id);
-        auto outcome = co_await nersc_.run(job);
+        auto outcome = co_await route->adapter->run(job);
         if (!outcome.status.ok()) co_return outcome.status;
-        co_return cfs_.put(cfs_recon, Bytes(double(scan.recon_bytes()) * 1.3),
-                           fnv1a64(cfs_recon), eng_.now());
+        co_return route->remote->put(remote_recon,
+                                     Bytes(double(scan.recon_bytes()) * 1.3),
+                                     fnv1a64(remote_recon), eng_.now());
       };
-  Status recon = co_await flows_.run_task(ctx, "sfapi_recon_job", recon_task,
-                              keyed(ctx, "sfapi_recon_job"));
+  Status recon = co_await flows_.run_task(ctx, route->recon_task, recon_task,
+                              keyed(ctx, route->recon_task.c_str()));
   if (!recon.ok()) co_return recon;
 
   // Task 3: move the reconstruction products back to the beamline.
   std::function<sim::Future<Status>()> back_task =
-      [this, cfs_recon, back_path, run_id = ctx.run_id]() -> sim::Future<Status> {
+      [this, route, remote_recon, back_path,
+       run_id = ctx.run_id]() -> sim::Future<Status> {
         transfer::TransferSpec spec;
-        spec.src = &cfs_;
+        spec.src = route->remote;
         spec.dst = &beamline_data_;
-        spec.files = {{cfs_recon, back_path}};
+        spec.files = {{remote_recon, back_path}};
         spec.verify_checksum = config_.verify_checksums;
-        spec.label = "nersc:recon_back";
+        spec.label = route->back_label;
         spec.trace_parent = flows_.task_span(run_id);
         auto outcome = co_await globus_.submit(std::move(spec));
         co_return outcome.status;
@@ -314,91 +354,13 @@ sim::Future<Status> Facility::nersc_recon_flow(flow::FlowContext ctx) {
 
   // Task 4: register the derived dataset with provenance.
   std::function<sim::Future<Status>()> scicat_derived_task =
-      [this, scan, back_path]() -> sim::Future<Status> {
+      [this, route, scan, back_path]() -> sim::Future<Status> {
         co_await sim::delay(eng_, 2.0);
         auto parent = raw_pids_.find(scan.scan_id);
         scicat_.ingest(catalog::DatasetType::Derived, back_path,
                        beamline_data_.name(), eng_.now(),
                        {{"scan_id", scan.scan_id},
-                        {"pipeline", "nersc_recon_flow"},
-                        {"algorithm", "gridrec"}},
-                       parent == raw_pids_.end() ? "" : parent->second);
-        co_return Status::success();
-      };
-  co_return co_await flows_.run_task(ctx, "scicat_derived", scicat_derived_task,
-                              keyed(ctx, "scicat_derived"));
-}
-
-sim::Future<Status> Facility::alcf_recon_flow(flow::FlowContext ctx) {
-  const data::ScanMetadata scan = scan_for(ctx.parameters);
-  const std::string raw_path = file_writer_.path_for(scan);
-  const std::string eagle_raw = "/als/raw/" + scan.scan_id + ".ah5";
-  const std::string eagle_recon = "/als/recon/" + scan.scan_id + ".zarr";
-  const std::string back_path = "/recon/alcf/" + scan.scan_id + ".zarr";
-
-  std::function<sim::Future<Status>()> moved_task =
-      [this, raw_path, eagle_raw, run_id = ctx.run_id]() -> sim::Future<Status> {
-        transfer::TransferSpec spec;
-        spec.src = &beamline_data_;
-        spec.dst = &eagle_;
-        spec.files = {{raw_path, eagle_raw}};
-        spec.verify_checksum = config_.verify_checksums;
-        spec.label = "alcf:raw_to_eagle";
-        spec.trace_parent = flows_.task_span(run_id);
-        auto outcome = co_await globus_.submit(std::move(spec));
-        co_return outcome.status;
-      };
-  Status moved = co_await flows_.run_task(ctx, "globus_to_eagle", moved_task,
-                              keyed(ctx, "globus_to_eagle"));
-  if (!moved.ok()) co_return moved;
-
-  // Globus Compute function: reconstruct directly against Eagle (pilot
-  // workers, no batch queue, no staging copy).
-  std::function<sim::Future<Status>()> recon_task =
-      [this, scan, eagle_recon, run_id = ctx.run_id]() -> sim::Future<Status> {
-        hpc::ReconJob job;
-        job.name = "tomopy-" + scan.scan_id;
-        job.nz = scan.rows;
-        job.n = scan.cols;
-        job.algorithm = tomo::Algorithm::Gridrec;
-        job.trace_parent = flows_.task_span(run_id);
-        // Output products written straight to Eagle.
-        job.staging_seconds = double(scan.recon_bytes()) * 1.3 /
-                              config_.output_write_rate;
-        auto outcome = co_await alcf_.run(job);
-        if (!outcome.status.ok()) co_return outcome.status;
-        co_return eagle_.put(eagle_recon,
-                             Bytes(double(scan.recon_bytes()) * 1.3),
-                             fnv1a64(eagle_recon), eng_.now());
-      };
-  Status recon = co_await flows_.run_task(ctx, "globus_compute_recon", recon_task,
-                              keyed(ctx, "globus_compute_recon"));
-  if (!recon.ok()) co_return recon;
-
-  std::function<sim::Future<Status>()> back_task =
-      [this, eagle_recon, back_path, run_id = ctx.run_id]() -> sim::Future<Status> {
-        transfer::TransferSpec spec;
-        spec.src = &eagle_;
-        spec.dst = &beamline_data_;
-        spec.files = {{eagle_recon, back_path}};
-        spec.verify_checksum = config_.verify_checksums;
-        spec.label = "alcf:recon_back";
-        spec.trace_parent = flows_.task_span(run_id);
-        auto outcome = co_await globus_.submit(std::move(spec));
-        co_return outcome.status;
-      };
-  Status back = co_await flows_.run_task(ctx, "globus_back_to_beamline", back_task,
-                              keyed(ctx, "globus_back_to_beamline"));
-  if (!back.ok()) co_return back;
-
-  std::function<sim::Future<Status>()> scicat_derived_task =
-      [this, scan, back_path]() -> sim::Future<Status> {
-        co_await sim::delay(eng_, 2.0);
-        auto parent = raw_pids_.find(scan.scan_id);
-        scicat_.ingest(catalog::DatasetType::Derived, back_path,
-                       beamline_data_.name(), eng_.now(),
-                       {{"scan_id", scan.scan_id},
-                        {"pipeline", "alcf_recon_flow"},
+                        {"pipeline", route->flow_name},
                         {"algorithm", "gridrec"}},
                        parent == raw_pids_.end() ? "" : parent->second);
         co_return Status::success();
@@ -556,20 +518,40 @@ sim::Future<ScanOutcome> Facility::process_scan_impl(data::ScanMetadata scan,
   auto new_file = co_await flows_.run_flow("new_file_832", scan.scan_id);
   outcome.new_file_status = new_file.status;
 
-  std::optional<sim::Future<flow::FlowRunResult>> nersc_fut, alcf_fut;
-  if (options.run_nersc) {
-    nersc_fut = flows_.run_flow("nersc_recon_flow", scan.scan_id);
-  }
-  if (options.run_alcf) {
-    alcf_fut = flows_.run_flow("alcf_recon_flow", scan.scan_id);
-  }
-  if (nersc_fut) outcome.nersc = co_await *nersc_fut;
-  if (alcf_fut) outcome.alcf = co_await *alcf_fut;
-  if (options.archive && outcome.nersc &&
-      outcome.nersc->state == flow::RunState::Completed) {
-    // Long-term archival proceeds in the background; scan completion does
-    // not wait on tape.
-    flows_.submit_flow("hpss_archive_flow", scan.scan_id);
+  if (options.placement == PlacementMode::Scheduled) {
+    // Dynamic placement: one scheduler decision instead of unconditional
+    // dual branches. The scheduler launches the chosen route's registered
+    // flow and handles failover/hedging internally.
+    sched::ScanRequest req;
+    req.scan_id = scan.scan_id;
+    req.raw_bytes = scan.raw_bytes();
+    req.recon_bytes = scan.recon_bytes();
+    req.nz = scan.rows;
+    req.n = scan.cols;
+    req.deadline = options.deadline;
+    outcome.sched = co_await scheduler_.submit(std::move(req));
+    if (options.archive && outcome.sched->completed &&
+        outcome.sched->facility == "nersc") {
+      // Tape archival needs the products on CFS, so only a NERSC win
+      // triggers it (background; scan completion does not wait on tape).
+      flows_.submit_flow("hpss_archive_flow", scan.scan_id);
+    }
+  } else {
+    std::optional<sim::Future<flow::FlowRunResult>> nersc_fut, alcf_fut;
+    if (options.run_nersc) {
+      nersc_fut = flows_.run_flow("nersc_recon_flow", scan.scan_id);
+    }
+    if (options.run_alcf) {
+      alcf_fut = flows_.run_flow("alcf_recon_flow", scan.scan_id);
+    }
+    if (nersc_fut) outcome.nersc = co_await *nersc_fut;
+    if (alcf_fut) outcome.alcf = co_await *alcf_fut;
+    if (options.archive && outcome.nersc &&
+        outcome.nersc->state == flow::RunState::Completed) {
+      // Long-term archival proceeds in the background; scan completion
+      // does not wait on tape.
+      flows_.submit_flow("hpss_archive_flow", scan.scan_id);
+    }
   }
   if (options.streaming) {
     outcome.streaming = co_await streaming_.wait_preview(scan.scan_id);
@@ -588,7 +570,8 @@ sim::Future<ScanOutcome> Facility::process_scan_impl(data::ScanMetadata scan,
             (!outcome.nersc ||
              outcome.nersc->state == flow::RunState::Completed) &&
             (!outcome.alcf ||
-             outcome.alcf->state == flow::RunState::Completed);
+             outcome.alcf->state == flow::RunState::Completed) &&
+            (!outcome.sched || outcome.sched->completed);
     tel.emit(ev);
   }
   ++scans_completed_;

@@ -2,9 +2,11 @@
 //
 // A Facility owns every operational layer on one simulation engine:
 //   Acquisition  — Detector -> PVA mirror -> FileWriterService
-//   Orchestration— FlowEngine + RunDatabase with the three production
-//                  flows (new_file_832, nersc_recon_flow, alcf_recon_flow)
-//                  and scheduled pruning flows
+//   Orchestration— FlowEngine + RunDatabase with the production flows
+//                  (new_file_832 plus one route-table recon flow per
+//                  facility: nersc, alcf, cloud) and scheduled pruning
+//                  flows; a FederatedScheduler places Scheduled scans
+//                  across the routes dynamically
 //   Movement     — Globus TransferService over ESnet links; streaming via
 //                  the PVA mirror + ZeroMQ return path
 //   Compute      — Perlmutter (Slurm + SFAPI, realtime QOS) and Polaris
@@ -29,9 +31,13 @@
 #include "common/rng.hpp"
 #include "flow/engine.hpp"
 #include "hpc/adapter.hpp"
+#include "hpc/cloud.hpp"
 #include "net/link.hpp"
 #include "net/pubsub.hpp"
 #include "pipeline/streaming_service.hpp"
+#include "sched/directory.hpp"
+#include "sched/policy.hpp"
+#include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
 #include "storage/endpoint.hpp"
 #include "storage/retention.hpp"
@@ -42,10 +48,12 @@ namespace alsflow::pipeline {
 struct FacilityConfig {
   std::uint64_t seed = 42;
 
-  // Network (paper: 10 Gbps beamline NIC; ESnet paths to both centers).
+  // Network (paper: 10 Gbps beamline NIC; ESnet paths to both centers,
+  // plus a thinner commercial path to the cloud burst region).
   double lan_gbps = 10.0;
   double esnet_nersc_gbps = 10.0;
   double esnet_alcf_gbps = 10.0;
+  double esnet_cloud_gbps = 5.0;
 
   // Compute. Sustaining 12-20 scans/hour with 20-30 minute reconstructions
   // needs ~6 concurrent jobs per site (rate x duration), so the realtime
@@ -70,6 +78,14 @@ struct FacilityConfig {
   hpc::ComputeModel compute;
 };
 
+// How the facility routes a scan's reconstruction:
+//   StaticDual — the paper's production configuration: run the enabled
+//                branches (NERSC and/or ALCF) unconditionally.
+//   Scheduled  — hand the scan to the FederatedScheduler, which places it
+//                at whichever registered facility the policy predicts is
+//                fastest right now (with failover if that site goes dark).
+enum class PlacementMode { StaticDual, Scheduled };
+
 struct ScanOptions {
   bool streaming = false;
   bool run_nersc = true;
@@ -77,6 +93,10 @@ struct ScanOptions {
   // Archive raw + reconstruction to HPSS tape after the NERSC branch
   // completes (Section 4.2.3: long-term archival through Slurm/SFAPI).
   bool archive = true;
+  PlacementMode placement = PlacementMode::StaticDual;
+  // Completion deadline for Scheduled scans (<= 0: none); deadline scans
+  // are hedge-eligible under a hedging policy.
+  Seconds deadline = 0.0;
 };
 
 struct ScanOutcome {
@@ -84,6 +104,7 @@ struct ScanOutcome {
   Status new_file_status = Status::success();
   std::optional<flow::FlowRunResult> nersc;
   std::optional<flow::FlowRunResult> alcf;
+  std::optional<sched::ScanResult> sched;  // Scheduled placement outcome
   std::optional<StreamingReport> streaming;
   Seconds started_at = 0.0;
   Seconds finished_at = 0.0;
@@ -114,9 +135,14 @@ class Facility {
   hpc::WorkstationAdapter& workstation() { return workstation_; }
   hpc::NerscSlurmAdapter& nersc_adapter() { return nersc_; }
   hpc::AlcfGlobusComputeAdapter& alcf_adapter() { return alcf_; }
+  hpc::CloudBurstAdapter& cloud_adapter() { return cloud_; }
+  storage::StorageEndpoint& cloud_s3() { return cloud_s3_; }
   net::Link& esnet_nersc() { return esnet_nersc_; }
   net::Link& esnet_alcf() { return esnet_alcf_; }
+  net::Link& esnet_cloud() { return esnet_cloud_; }
   net::Link& lan() { return lan_; }
+  sched::FacilityDirectory& directory() { return directory_; }
+  sched::FederatedScheduler& scheduler() { return scheduler_; }
 
   // Generate non-beamline Perlmutter load for `duration` (call once,
   // before driving scans, to model realistic realtime queue waits).
@@ -151,13 +177,38 @@ class Facility {
   std::vector<ScanOutcome> completed_outcomes() const { return outcomes_; }
 
  private:
+  // One remote reconstruction branch, as data: every facility's recon
+  // flow is the same four-task shape (move raw out, reconstruct, move
+  // products back, register provenance) over different endpoints, labels,
+  // and adapters. The route table replaced the hand-duplicated
+  // nersc_recon_flow / alcf_recon_flow pair and is what makes adding a
+  // facility (cloud) a table entry instead of a fourth copy.
+  struct ReconRoute {
+    std::string facility;        // directory name ("nersc", "alcf", ...)
+    std::string flow_name;       // registered flow ("nersc_recon_flow", ...)
+    std::string pool;            // work pool ("hpc-nersc", ...)
+    storage::StorageEndpoint* remote = nullptr;  // facility-side store
+    hpc::ComputeAdapter* adapter = nullptr;
+    net::Link* link = nullptr;   // ESnet path (directory WAN estimate)
+    std::string to_remote_task;  // task 1 name ("globus_to_cfs", ...)
+    std::string recon_task;      // task 2 name ("sfapi_recon_job", ...)
+    std::string out_label;       // transfer label ("nersc:raw_to_cfs", ...)
+    std::string back_label;      // transfer label ("nersc:recon_back", ...)
+    std::string back_prefix;     // beamline-side path ("/recon/nersc/", ...)
+    // In-job CFS -> pscratch staging copy before the solver (NERSC only).
+    bool stage_in_copy = false;
+  };
+
   sim::Future<ScanOutcome> process_scan_impl(data::ScanMetadata scan,
                                              ScanOptions options);
   void register_flows();
   sim::Proc background_job_generator(Seconds until);
   sim::Future<Status> new_file_832(flow::FlowContext ctx);
-  sim::Future<Status> nersc_recon_flow(flow::FlowContext ctx);
-  sim::Future<Status> alcf_recon_flow(flow::FlowContext ctx);
+  // The generic facility recon flow, parameterized by route. Pointer, not
+  // reference: routes are Facility members and the coroutine frame
+  // outlives the call (astcheck coroutine-ref-param).
+  sim::Future<Status> recon_route_flow(flow::FlowContext ctx,
+                                       const ReconRoute* route);
   sim::Future<Status> hpss_archive_flow(flow::FlowContext ctx);
   sim::Future<Status> publish_volume_flow(flow::FlowContext ctx);
   // Pointer, not reference: the endpoint is a Facility member and the
@@ -167,8 +218,6 @@ class Facility {
   const data::ScanMetadata& scan_for(const std::string& scan_id) const {
     return scans_.at(scan_id);
   }
-  // In-job staging time for a scan's reconstruction at NERSC.
-  Seconds nersc_staging_seconds(const data::ScanMetadata& scan) const;
 
   FacilityConfig config_;
   sim::Engine eng_;
@@ -220,6 +269,19 @@ class Facility {
   std::size_t scans_completed_ = 0;
   Bytes raw_bytes_ingested_ = 0;
   std::vector<ScanOutcome> outcomes_;
+
+  // Federated scheduling (appended after the legacy members: none of
+  // these schedule simulation events at construction, so default
+  // StaticDual campaigns remain byte-identical to the pre-sched world).
+  storage::StorageEndpoint cloud_s3_;
+  net::Link esnet_cloud_;
+  hpc::CloudBurstAdapter cloud_;
+  ReconRoute nersc_route_;
+  ReconRoute alcf_route_;
+  ReconRoute cloud_route_;
+  sched::FacilityDirectory directory_;
+  sched::GreedyPolicy placement_policy_;
+  sched::FederatedScheduler scheduler_;
 };
 
 }  // namespace alsflow::pipeline

@@ -1,0 +1,285 @@
+#include "sched/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace alsflow::sched {
+
+namespace {
+
+// Scan-scoped idempotency key (same contract as the pipeline flows): a
+// failover resubmission of the same (flow, scan) pair skips stages the
+// stalled run already completed.
+flow::TaskOptions keyed(const flow::FlowContext& ctx, const char* task) {
+  flow::TaskOptions o;
+  o.idempotency_key = ctx.flow_name + ":" + task + ":" + ctx.parameters;
+  return o;
+}
+
+flow::TaskSpec task_spec(const std::string& flow, const std::string& name,
+                         std::vector<std::string> deps, bool uses_transfer,
+                         bool uses_hpc) {
+  flow::TaskSpec t;
+  t.name = name;
+  t.depends_on = std::move(deps);
+  t.uses_transfer = uses_transfer;
+  t.uses_hpc = uses_hpc;
+  t.idempotency_key = flow + ":" + name;
+  return t;
+}
+
+// Order-sensitive FNV-1a (the campaign determinism fingerprint).
+void fnv_mix(std::uint64_t* h, const void* data, std::size_t nbytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    *h ^= p[i];
+    *h *= 1099511628211ull;
+  }
+}
+
+}  // namespace
+
+FleetWorld::FleetWorld(FleetCampaignConfig config)
+    : config_(std::move(config)),
+      perlmutter_(eng_, "perlmutter", config_.nersc_nodes),
+      sfapi_(eng_, perlmutter_),
+      nersc_(eng_, sfapi_, hpc::ComputeModel{}),
+      polaris_(eng_, "polaris", config_.alcf_workers),
+      alcf_(eng_, polaris_, hpc::ComputeModel{}),
+      cloud_(eng_, hpc::ComputeModel{}),
+      esnet_nersc_(eng_, "esnet-nersc", gbps(config_.esnet_nersc_gbps), 0.03),
+      esnet_alcf_(eng_, "esnet-alcf", gbps(config_.esnet_alcf_gbps), 0.05),
+      esnet_cloud_(eng_, "esnet-cloud", gbps(config_.esnet_cloud_gbps), 0.04),
+      chaos_(eng_) {
+  auto add_route = [this](const std::string& facility,
+                          hpc::ComputeAdapter* adapter, net::Link* link,
+                          double capacity_hint) {
+    auto route = std::make_unique<Route>();
+    route->facility = facility;
+    route->adapter = adapter;
+    route->link = link;
+    routes_.push_back(std::move(route));
+
+    FacilityInfo info;
+    info.name = facility;
+    info.flow_name = "recon_" + facility;
+    info.adapter = adapter;
+    info.link = link;
+    info.capacity_hint = capacity_hint;
+    directory_.add(std::move(info));
+  };
+  add_route("nersc", &nersc_, &esnet_nersc_, double(config_.nersc_nodes));
+  add_route("alcf", &alcf_, &esnet_alcf_, double(config_.alcf_workers));
+  if (config_.with_cloud) {
+    // Elastic, but slower per instance and behind a thinner path — the
+    // cost model should only burst here under pressure.
+    add_route("cloud", &cloud_, &esnet_cloud_, 16.0);
+  }
+
+  const std::string shard_policy =
+      config_.policy == "static_dual" ? "round_robin" : config_.policy;
+  fleet_ = std::make_unique<Fleet>(eng_, directory_, shard_policy,
+                                   config_.scheduler);
+  for (int b = 0; b < config_.beamlines; ++b) {
+    char name[16];
+    std::snprintf(name, sizeof name, "bl-%02d", b + 1);
+    fleet_->add_shard(name,
+                      [this](const std::string& beamline,
+                             flow::FlowEngine& flows) {
+                        register_shard_flows(beamline, flows);
+                      });
+  }
+
+  chaos_.bind_link(&esnet_nersc_);
+  chaos_.bind_link(&esnet_alcf_);
+  chaos_.bind_link(&esnet_cloud_);
+  chaos_.bind_adapter(&nersc_);
+  chaos_.bind_adapter(&alcf_);
+  chaos_.bind_adapter(&cloud_);
+}
+
+void FleetWorld::register_shard_flows(const std::string& beamline,
+                                      flow::FlowEngine& flows) {
+  (void)beamline;
+  // Orchestration itself must not be the bottleneck at fleet scale:
+  // queueing belongs at the facilities (Slurm, pilot pool), not the pool.
+  flows.set_pool_limit("fleet", 32);
+  for (const auto& route : routes_) {
+    const std::string flow_name = "recon_" + route->facility;
+    flow::FlowSpec spec;
+    spec.tasks = {
+        task_spec(flow_name, "stage_out", {}, true, false),
+        task_spec(flow_name, "recon", {"stage_out"}, false, true),
+        task_spec(flow_name, "stage_back", {"recon"}, true, false),
+    };
+    flow::FlowOptions options;
+    options.max_retries = 0;
+    options.work_pool = "fleet";
+    const Route* r = route.get();
+    flows.register_flow(
+        flow_name,
+        [this, r](flow::FlowContext ctx) { return recon_flow(ctx, r); },
+        options, spec);
+  }
+}
+
+sim::Future<Status> FleetWorld::recon_flow(flow::FlowContext ctx,
+                                           const Route* route) {
+  const ScanRequest scan = scans_.at(ctx.parameters);
+  flow::FlowEngine& flows = ctx.engine;
+
+  // Task bodies bound to named std::function locals (GCC 12: inline
+  // lambda temporaries in a co_await expression are double-destroyed).
+  std::function<sim::Future<Status>()> stage_out_task =
+      [route, scan]() -> sim::Future<Status> {
+        (void)co_await route->link->send(scan.raw_bytes);
+        co_return Status::success();
+      };
+  Status out = co_await flows.run_task(ctx, "stage_out", stage_out_task,
+                                       keyed(ctx, "stage_out"));
+  if (!out.ok()) co_return out;
+
+  std::function<sim::Future<Status>()> recon_task =
+      [route, scan]() -> sim::Future<Status> {
+        hpc::ReconJob job;
+        job.name = "fleet-" + scan.scan_id;
+        job.nz = scan.nz;
+        job.n = scan.n;
+        auto outcome = co_await route->adapter->run(job);
+        co_return outcome.status;
+      };
+  Status recon =
+      co_await flows.run_task(ctx, "recon", recon_task, keyed(ctx, "recon"));
+  if (!recon.ok()) co_return recon;
+
+  std::function<sim::Future<Status>()> stage_back_task =
+      [route, scan]() -> sim::Future<Status> {
+        // TIFF stack + Zarr pyramid overhead, matching the pipeline's 1.3x.
+        (void)co_await route->link->send(
+            Bytes(double(scan.recon_bytes) * 1.3));
+        co_return Status::success();
+      };
+  co_return co_await flows.run_task(ctx, "stage_back", stage_back_task,
+                                    keyed(ctx, "stage_back"));
+}
+
+sim::Future<ScanResult> FleetWorld::static_dual_scan(Fleet::Shard* shard,
+                                                     ScanRequest scan) {
+  ScanResult res;
+  res.scan_id = scan.scan_id;
+  res.submitted_at = eng_.now();
+  res.reason = "static_dual";
+  // The paper's dual-branch configuration: every scan reconstructs at
+  // both DOE facilities, unconditionally.
+  auto nersc_fut = shard->flows->run_flow("recon_nersc", scan.scan_id);
+  auto alcf_fut = shard->flows->run_flow("recon_alcf", scan.scan_id);
+  const flow::FlowRunResult nersc_res = co_await nersc_fut;
+  const flow::FlowRunResult alcf_res = co_await alcf_fut;
+  res.completed = nersc_res.state == flow::RunState::Completed &&
+                  alcf_res.state == flow::RunState::Completed;
+  res.facility = "dual";
+  res.finished_at = eng_.now();
+  co_return res;
+}
+
+ScanRequest FleetWorld::make_scan(Rng* rng, const std::string& beamline,
+                                  int index) {
+  // Production-mix volume shapes, heavy enough that facility capacity —
+  // not arrival cadence — bounds the campaign.
+  static constexpr std::size_t kNz[] = {384, 512, 640};
+  static constexpr std::size_t kN[] = {1024, 1280, 1536};
+  ScanRequest s;
+  s.scan_id = beamline + "-scan-" + std::to_string(index);
+  s.nz = kNz[std::size_t(rng->uniform_int(0, 2))];
+  s.n = kN[std::size_t(rng->uniform_int(0, 2))];
+  const std::size_t n_angles = (3 * s.n) / 2;
+  s.raw_bytes = Bytes(n_angles + 20) * s.nz * s.n * 2;
+  s.recon_bytes = Bytes(s.nz) * s.n * s.n * 4;
+  if (config_.deadline_every > 0 && index % config_.deadline_every == 0) {
+    s.deadline = config_.deadline;
+  }
+  return s;
+}
+
+FleetCampaignReport FleetWorld::run() {
+  Rng rng(config_.seed);
+  const bool dual = config_.policy == "static_dual";
+  std::vector<std::shared_ptr<sim::SharedState<ScanResult>>> results;
+  results.reserve(std::size_t(config_.beamlines) *
+                  std::size_t(config_.scans_per_beamline));
+
+  for (int b = 0; b < config_.beamlines; ++b) {
+    char name[16];
+    std::snprintf(name, sizeof name, "bl-%02d", b + 1);
+    const std::string beamline = name;
+    Fleet::Shard* shard = fleet_->shard(beamline);
+    // Phase-offset the shards so the fleet's aggregate arrivals are smooth.
+    const Seconds offset = config_.scan_interval * double(b) /
+                           double(std::max(1, config_.beamlines));
+    for (int i = 0; i < config_.scans_per_beamline; ++i) {
+      ScanRequest scan = make_scan(&rng, beamline, i);
+      scans_[scan.scan_id] = scan;
+      const Seconds at = offset + config_.scan_interval * double(i);
+      if (dual) {
+        eng_.schedule_at(at, [this, shard, scan, &results] {
+          results.push_back(static_dual_scan(shard, scan).state());
+        });
+      } else {
+        eng_.schedule_at(at, [this, beamline, scan, &results] {
+          results.push_back(fleet_->submit(beamline, scan).state());
+        });
+      }
+    }
+  }
+
+  if (!config_.scenario.events.empty()) chaos_.arm(config_.scenario);
+  eng_.run();
+
+  FleetCampaignReport rep;
+  rep.policy = config_.policy;
+  rep.offered = results.size();
+  std::vector<double> turnarounds;
+  turnarounds.reserve(results.size());
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  for (const auto& st : results) {
+    if (!st->ready()) continue;  // cannot happen once the engine quiesces
+    const ScanResult& r = st->value();
+    if (r.completed) {
+      ++rep.completed;
+      turnarounds.push_back(r.turnaround());
+    } else {
+      ++rep.lost;
+    }
+    rep.makespan = std::max(rep.makespan, r.finished_at);
+    fnv_mix(&h, r.scan_id.data(), r.scan_id.size());
+    fnv_mix(&h, r.facility.data(), r.facility.size());
+    const double t = r.turnaround();
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &t, sizeof bits);
+    fnv_mix(&h, &bits, sizeof bits);
+  }
+  rep.digest = h;
+  rep.turnaround = summarize(turnarounds);
+  if (!turnarounds.empty()) {
+    std::sort(turnarounds.begin(), turnarounds.end());
+    rep.turnaround_p99 = percentile_sorted(turnarounds, 0.99);
+  }
+  if (dual) {
+    rep.placements["nersc"] = rep.offered;
+    rep.placements["alcf"] = rep.offered;
+  } else {
+    rep.placements = fleet_->placements();
+    rep.failovers = fleet_->failovers();
+    rep.hedges = fleet_->hedges_launched();
+  }
+  return rep;
+}
+
+FleetCampaignReport run_fleet_campaign(const FleetCampaignConfig& config) {
+  FleetWorld world(config);
+  return world.run();
+}
+
+}  // namespace alsflow::sched

@@ -1,0 +1,155 @@
+// Fleet-scale federated campaign: many beamlines, shared facilities, one
+// scheduler decision per scan.
+//
+// FleetWorld builds the smallest world that exercises the whole sched
+// stack at scale: real facility components (Slurm + SFAPI behind the NERSC
+// adapter, a Globus Compute pilot pool behind the ALCF adapter, an elastic
+// cloud-burst adapter) shared by every beamline, one ESnet link per
+// facility, a FacilityDirectory over all of it, and a sched::Fleet with
+// one FlowEngine + RunDatabase shard per beamline. Each shard registers
+// the same three-task recon flow per facility (stage raw out -> reconstruct
+// -> stage products back), parameterized by scan id, with idempotency keys
+// so failover resubmission skips completed stages.
+//
+// The "static_dual" policy is the paper's baseline: every scan runs the
+// NERSC *and* ALCF branches to completion (no decision, double the work) —
+// the configuration the federated scheduler is benchmarked against in
+// BENCH_sched_campaign.json.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_engine.hpp"
+#include "chaos/scenario.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "hpc/adapter.hpp"
+#include "hpc/cloud.hpp"
+#include "net/link.hpp"
+#include "sched/directory.hpp"
+#include "sched/fleet.hpp"
+#include "sched/policy.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+
+namespace alsflow::sched {
+
+struct FleetCampaignConfig {
+  std::uint64_t seed = 42;
+  int beamlines = 8;
+  int scans_per_beamline = 128;
+  // Arrival spacing per beamline (shards are phase-offset so the fleet's
+  // aggregate load is smooth).
+  Seconds scan_interval = 60.0;
+  // "static_dual" | "round_robin" | "greedy" | "hedged"
+  std::string policy = "greedy";
+
+  // Shared facility sizing.
+  int nersc_nodes = 8;
+  int alcf_workers = 6;
+  bool with_cloud = true;
+  double esnet_nersc_gbps = 10.0;
+  double esnet_alcf_gbps = 10.0;
+  double esnet_cloud_gbps = 5.0;
+
+  // Every Nth scan carries a completion deadline (what HedgedPolicy keys
+  // on); 0 disables deadlines.
+  int deadline_every = 4;
+  Seconds deadline = 3600.0;
+
+  SchedulerConfig scheduler;
+
+  // Fault schedule injected over the campaign (empty = fault-free).
+  chaos::Scenario scenario;
+};
+
+struct FleetCampaignReport {
+  std::string policy;
+  std::size_t offered = 0;
+  std::size_t completed = 0;
+  std::size_t lost = 0;
+  Seconds makespan = 0.0;           // campaign start -> last scan finished
+  Summary turnaround;               // per-scan submit -> products-back
+  Seconds turnaround_p99 = 0.0;
+  std::map<std::string, std::size_t> placements;  // facility -> launches
+  std::size_t failovers = 0;
+  std::size_t hedges = 0;
+  // Order-sensitive FNV-1a over every scan's (id, facility, turnaround
+  // bits): byte-identical across runs of the same config iff the campaign
+  // is deterministic. The replay test pins this.
+  std::uint64_t digest = 0;
+};
+
+class FleetWorld {
+ public:
+  explicit FleetWorld(FleetCampaignConfig config = {});
+
+  // Schedule every beamline's arrivals, run the engine to quiescence, and
+  // summarize. Call once per world.
+  FleetCampaignReport run();
+
+  sim::Engine& engine() { return eng_; }
+  Fleet& fleet() { return *fleet_; }
+  FacilityDirectory& directory() { return directory_; }
+  chaos::ChaosEngine& chaos() { return chaos_; }
+  hpc::ComputeAdapter& nersc_adapter() { return nersc_; }
+  hpc::ComputeAdapter& alcf_adapter() { return alcf_; }
+  net::Link& esnet_nersc() { return esnet_nersc_; }
+  net::Link& esnet_alcf() { return esnet_alcf_; }
+
+  const ScanRequest& scan_for(const std::string& scan_id) const {
+    return scans_.at(scan_id);
+  }
+
+ private:
+  // The per-facility recon flow body (stage out -> recon -> stage back),
+  // shared by all facilities via a route struct. Pointer parameters: the
+  // route and world outlive every flow run (astcheck coroutine-ref-param).
+  struct Route {
+    std::string facility;
+    hpc::ComputeAdapter* adapter = nullptr;
+    net::Link* link = nullptr;
+  };
+  sim::Future<Status> recon_flow(flow::FlowContext ctx, const Route* route);
+  void register_shard_flows(const std::string& beamline,
+                            flow::FlowEngine& flows);
+
+  // Baseline: run the NERSC and ALCF flows to completion for one scan.
+  sim::Future<ScanResult> static_dual_scan(Fleet::Shard* shard,
+                                           ScanRequest scan);
+
+  ScanRequest make_scan(Rng* rng, const std::string& beamline, int index);
+
+  FleetCampaignConfig config_;
+  sim::Engine eng_;
+
+  // Shared facilities.
+  hpc::SlurmCluster perlmutter_;
+  hpc::SfApiClient sfapi_;
+  hpc::NerscSlurmAdapter nersc_;
+  hpc::GlobusComputeEndpoint polaris_;
+  hpc::AlcfGlobusComputeAdapter alcf_;
+  hpc::CloudBurstAdapter cloud_;
+  net::Link esnet_nersc_;
+  net::Link esnet_alcf_;
+  net::Link esnet_cloud_;
+
+  FacilityDirectory directory_;
+  std::unique_ptr<Fleet> fleet_;
+  chaos::ChaosEngine chaos_;
+
+  // One route per facility flow; stable addresses (flow lambdas hold
+  // pointers into these for the lifetime of the world).
+  std::vector<std::unique_ptr<Route>> routes_;
+  std::map<std::string, ScanRequest> scans_;
+};
+
+// Convenience: build a world, run it, return the report.
+FleetCampaignReport run_fleet_campaign(const FleetCampaignConfig& config);
+
+}  // namespace alsflow::sched

@@ -1,0 +1,138 @@
+#include "sched/policy.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace alsflow::sched {
+
+namespace {
+
+// Rank penalty that pushes sick-but-available sites behind every healthy
+// one without making them unplaceable (a finite tier, not infinity, so
+// comparisons stay total and deterministic).
+constexpr Seconds kSickTier = 1e12;
+// A registered-but-blacked-out WAN path prices the site as effectively
+// unreachable (worse than sick): the bytes cannot move at all right now.
+constexpr Seconds kUnreachable = 1e15;
+
+}  // namespace
+
+Placement RoundRobinPolicy::place(
+    const ScanRequest& scan, const std::vector<FacilityState>& facilities) {
+  (void)scan;
+  std::vector<std::size_t> up;
+  for (std::size_t i = 0; i < facilities.size(); ++i) {
+    if (facilities[i].available) up.push_back(i);
+  }
+  Placement p;
+  if (up.empty()) return p;
+  const FacilityState& pick = facilities[up[cursor_ % up.size()]];
+  ++cursor_;
+  p.primary = pick.name;
+  p.reason = "round_robin: " + pick.name;
+  return p;
+}
+
+Seconds GreedyPolicy::predicted_turnaround(const ScanRequest& scan,
+                                           const FacilityState& f) const {
+  // WAN: raw out + products back at the live effective rate.
+  Seconds transfer = 0.0;
+  if (f.has_link) {
+    if (f.link_bps <= 0.0) return kUnreachable;  // blackout
+    transfer = (double(scan.raw_bytes) +
+                double(scan.recon_bytes) * cfg_.product_factor) /
+                   f.link_bps +
+               2.0 * f.link_latency;
+  }
+  // Queue: observed wait quantile plus a congestion term — every scan
+  // already routed here that the site's capacity cannot absorb costs one
+  // more execute slot (join-shortest-queue, expressed in seconds).
+  const Seconds exec =
+      f.queue.exec_mean > 0.0 ? f.queue.exec_mean : cfg_.default_exec;
+  const double backlog =
+      double(std::max(f.queue.inflight, f.inflight_placements));
+  const Seconds congestion = exec * backlog / std::max(1.0, f.capacity_hint);
+  const Seconds est =
+      transfer + f.queue.queue_wait_p50 + congestion + exec;
+  // A sick site inflates its own estimate: at health 0.5 it must look
+  // twice as fast as a healthy one to win the scan.
+  return est / std::clamp(f.health, 0.05, 1.0);
+}
+
+Placement GreedyPolicy::place(const ScanRequest& scan,
+                              const std::vector<FacilityState>& facilities) {
+  int best = -1, runner_up = -1;
+  Seconds best_rank = 0.0, runner_rank = 0.0;
+  for (std::size_t i = 0; i < facilities.size(); ++i) {
+    const FacilityState& f = facilities[i];
+    if (!f.available) continue;
+    Seconds rank = predicted_turnaround(scan, f);
+    if (f.health < cfg_.min_health) rank += kSickTier;
+    if (best < 0 || rank < best_rank) {
+      runner_up = best;
+      runner_rank = best_rank;
+      best = int(i);
+      best_rank = rank;
+    } else if (runner_up < 0 || rank < runner_rank) {
+      runner_up = int(i);
+      runner_rank = rank;
+    }
+  }
+  (void)runner_up;
+  (void)runner_rank;
+  Placement p;
+  if (best < 0) return p;
+  p.primary = facilities[std::size_t(best)].name;
+  char reason[128];
+  std::snprintf(reason, sizeof reason, "greedy: %s predicted %.0fs",
+                p.primary.c_str(), double(best_rank));
+  p.reason = reason;  // greedy places exactly one attempt, never a hedge
+  return p;
+}
+
+Placement HedgedPolicy::place(const ScanRequest& scan,
+                              const std::vector<FacilityState>& facilities) {
+  // Rank with the greedy cost model, keeping the runner-up this time.
+  int best = -1, runner_up = -1;
+  Seconds best_rank = 0.0, runner_rank = 0.0;
+  for (std::size_t i = 0; i < facilities.size(); ++i) {
+    const FacilityState& f = facilities[i];
+    if (!f.available) continue;
+    Seconds rank = greedy_.predicted_turnaround(scan, f);
+    if (f.health < cfg_.greedy.min_health) rank += kSickTier;
+    if (best < 0 || rank < best_rank) {
+      runner_up = best;
+      runner_rank = best_rank;
+      best = int(i);
+      best_rank = rank;
+    } else if (runner_up < 0 || rank < runner_rank) {
+      runner_up = int(i);
+      runner_rank = rank;
+    }
+  }
+  Placement p;
+  if (best < 0) return p;
+  p.primary = facilities[std::size_t(best)].name;
+  p.reason = "hedged: " + p.primary;
+  // Only deadline scans pay for a backup, and only when a distinct
+  // reachable site exists.
+  if (scan.deadline > 0.0 && runner_up >= 0 && runner_rank < kUnreachable) {
+    p.hedge = facilities[std::size_t(runner_up)].name;
+    Seconds delay = best_rank * cfg_.hedge_after_fraction;
+    // Leave the backup enough runway to beat the deadline.
+    const Seconds runway = scan.deadline - runner_rank;
+    if (runway > 0.0) delay = std::min(delay, runway);
+    p.hedge_delay = std::max(delay, cfg_.min_hedge_delay);
+    p.reason += " hedge " + p.hedge;
+  }
+  return p;
+}
+
+std::unique_ptr<PlacementPolicy> make_policy(const std::string& name) {
+  if (name == "round_robin") return std::make_unique<RoundRobinPolicy>();
+  if (name == "greedy") return std::make_unique<GreedyPolicy>();
+  if (name == "hedged") return std::make_unique<HedgedPolicy>();
+  return nullptr;
+}
+
+}  // namespace alsflow::sched

@@ -1,0 +1,141 @@
+// FederatedScheduler: dynamic cross-facility scan placement with
+// failover.
+//
+// Each submitted scan becomes one (or, under hedging/failover, several)
+// dynamically parameterized recon-flow runs over the existing
+// facility-adapter seam: the policy picks a facility from the directory's
+// live snapshot, the scheduler launches that facility's registered flow
+// (parameters = scan id), and the attempt set is raced. The failover
+// state machine (DESIGN.md §17):
+//
+//   PLACE   pick an untried facility from the policy; launch its flow.
+//           If every facility has been tried, the tried set resets — a
+//           recovered site may be re-tried rather than losing the scan.
+//   RACE    await any outstanding attempt, bounded by a window: the
+//           hedge delay while a hedge is pending, else the failover
+//           timeout.
+//   on attempt Completed  -> scan done; later attempts are superseded
+//                            (idempotent flows make duplicates safe).
+//   on attempt Failed     -> drop it; PLACE again if nothing is left.
+//   on window expiry      -> hedge pending? launch the hedge.
+//                            else: the facility has gone dark mid-run —
+//                            an outage shows up as queue wait, never as
+//                            flow failure, so a timeout is the *only*
+//                            dark-facility signal. Launch one more
+//                            placement elsewhere and keep racing the
+//                            stalled attempt (it may still win when the
+//                            site recovers; resubmission rides the PR 6
+//                            idempotency ledger, so a recovered duplicate
+//                            skips completed tasks).
+//
+// A scan is lost only when the launch budget is exhausted and every
+// launched attempt has failed terminally — chaos scenarios must never
+// reach that state (the resilience suite pins zero lost scans).
+//
+// Sim-thread only; one scheduler per beamline shard (see sched::Fleet).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/telemetry.hpp"
+#include "common/units.hpp"
+#include "flow/engine.hpp"
+#include "sched/directory.hpp"
+#include "sched/policy.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace alsflow::sched {
+
+struct SchedulerConfig {
+  // Declare a placement dark after this long without a terminal state and
+  // launch a failover elsewhere (the stalled attempt keeps racing).
+  Seconds failover_timeout = 1800.0;
+  // When nothing is placeable at all (every adapter dark), retry the
+  // placement decision after this backoff.
+  Seconds placement_backoff = 60.0;
+  // Total launch budget per scan (primary + hedges + failovers).
+  int max_attempts = 6;
+  // Absolute bound on one scan's lifetime: past this the scan is abandoned
+  // as lost even with attempts still in flight. Keeps a campaign's event
+  // queue finite when every facility stays dark forever.
+  Seconds give_up_after = 86400.0;
+};
+
+// One launched placement of a scan.
+struct AttemptRecord {
+  std::string facility;
+  std::string flow_name;
+  Seconds launched_at = 0.0;
+  Seconds finished_at = -1.0;  // -1 while still in flight at scan end
+  bool hedge = false;
+  bool failover = false;
+  // "completed" | "failed:<code>" | "superseded" (another attempt won)
+  std::string result = "superseded";
+};
+
+struct ScanResult {
+  std::string scan_id;
+  bool completed = false;
+  std::string facility;  // winning facility ("" if lost)
+  std::string flow_run_id;
+  bool hedged = false;
+  bool failed_over = false;
+  std::vector<AttemptRecord> attempts;
+  Seconds submitted_at = 0.0;
+  Seconds finished_at = 0.0;
+  std::string reason;  // the policy's decision trace for the first attempt
+
+  Seconds turnaround() const { return finished_at - submitted_at; }
+};
+
+class FederatedScheduler {
+ public:
+  FederatedScheduler(sim::Engine& eng, flow::FlowEngine& flows,
+                     FacilityDirectory& directory, PlacementPolicy& policy,
+                     SchedulerConfig cfg = {});
+
+  // Place and drive one scan to completion; resolves when some attempt's
+  // flow run completes (or the scan is abandoned as lost). Wrapper over
+  // the coroutine impl (see flow/engine.hpp on GCC 12).
+  sim::Future<ScanResult> submit(ScanRequest scan) {
+    return submit_impl(std::move(scan));
+  }
+
+  // --- campaign accounting (sim-thread reads) ---
+  const std::map<std::string, std::size_t>& placements() const {
+    return placements_;
+  }
+  std::size_t scans_submitted() const { return submitted_; }
+  std::size_t scans_completed() const { return completed_; }
+  std::size_t scans_lost() const { return lost_; }
+  std::size_t failovers() const { return failovers_; }
+  std::size_t hedges_launched() const { return hedges_; }
+
+ private:
+  sim::Future<ScanResult> submit_impl(ScanRequest scan);
+
+  // Launch `facility`'s flow for the scan; returns the run future and
+  // registers directory bookkeeping (note_placed now, note_finished when
+  // the run resolves, whether or not the scheduler still waits on it).
+  sim::Future<flow::FlowRunResult> launch(const std::string& facility,
+                                          const std::string& scan_id);
+
+  sim::Engine& eng_;
+  flow::FlowEngine& flows_;
+  FacilityDirectory& dir_;
+  PlacementPolicy& policy_;
+  SchedulerConfig cfg_;
+
+  std::map<std::string, std::size_t> placements_;  // facility -> launches
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t lost_ = 0;
+  std::size_t failovers_ = 0;
+  std::size_t hedges_ = 0;
+};
+
+}  // namespace alsflow::sched

@@ -1,0 +1,427 @@
+// Federated scheduler suite (DESIGN.md §17).
+//
+// Three layers, matching the subsystem's contracts:
+//   policy units     — place() is a pure function of (scan, snapshot), so
+//                      each decision rule is pinned against hand-built
+//                      snapshots: rotation, cost-model ordering, blackout
+//                      unreachability, sick-site avoidance, deadline-only
+//                      hedging.
+//   fleet campaigns  — a ≥1000-scan, 8-beamline campaign with dynamic
+//                      placement completes with zero lost scans; a
+//                      mid-campaign facility blackout still loses nothing
+//                      (failover resubmission rides the idempotency
+//                      ledger) and the whole faulted campaign is
+//                      byte-identical across runs (the digest pins it).
+//   merged queries   — the sharded Table-2 path over per-beamline run
+//                      databases reproduces what one unsharded database
+//                      over the same runs reports, exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos/scenario.hpp"
+#include "common/units.hpp"
+#include "flow/run_db.hpp"
+#include "hpc/cloud.hpp"
+#include "pipeline/facility.hpp"
+#include "sim/engine.hpp"
+#include "sched/campaign.hpp"
+#include "sched/directory.hpp"
+#include "sched/fleet.hpp"
+#include "sched/policy.hpp"
+#include "sched/scheduler.hpp"
+
+namespace alsflow::sched {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Policy units
+// ---------------------------------------------------------------------------
+
+FacilityState make_state(const std::string& name, Seconds queue_wait_p50,
+                         Seconds exec_mean, std::size_t inflight,
+                         double capacity) {
+  FacilityState s;
+  s.name = name;
+  s.flow_name = "recon_" + name;
+  s.available = true;
+  s.health = 1.0;
+  s.queue.queue_wait_p50 = queue_wait_p50;
+  s.queue.exec_mean = exec_mean;
+  s.queue.completed = 1;
+  s.has_link = true;
+  s.link_bps = gbps(10.0);
+  s.link_latency = 0.03;
+  s.capacity_hint = capacity;
+  s.inflight_placements = inflight;
+  return s;
+}
+
+ScanRequest small_request(Seconds deadline = 0.0) {
+  ScanRequest r;
+  r.scan_id = "scan-unit";
+  r.raw_bytes = Bytes(1) << 30;  // 1 GiB out
+  r.recon_bytes = Bytes(1) << 30;
+  r.nz = 512;
+  r.n = 1024;
+  r.deadline = deadline;
+  return r;
+}
+
+TEST(RoundRobinPolicy, RotatesOverAvailableSitesOnly) {
+  RoundRobinPolicy policy;
+  std::vector<FacilityState> snap = {make_state("nersc", 10, 100, 0, 8),
+                                     make_state("alcf", 10, 100, 0, 6),
+                                     make_state("cloud", 10, 100, 0, 16)};
+  snap[1].available = false;  // alcf dark: rotation must skip it
+
+  std::vector<std::string> picks;
+  for (int i = 0; i < 4; ++i) {
+    picks.push_back(policy.place(small_request(), snap).primary);
+  }
+  EXPECT_EQ(picks,
+            (std::vector<std::string>{"nersc", "cloud", "nersc", "cloud"}));
+}
+
+TEST(RoundRobinPolicy, NothingAvailablePlacesNothing) {
+  RoundRobinPolicy policy;
+  std::vector<FacilityState> snap = {make_state("nersc", 0, 0, 0, 1)};
+  snap[0].available = false;
+  EXPECT_EQ(policy.place(small_request(), snap).primary, "");
+  EXPECT_EQ(policy.place(small_request(), {}).primary, "");
+}
+
+TEST(GreedyPolicy, PicksLowestPredictedTurnaround) {
+  GreedyPolicy policy;
+  // Same link and capacity; alcf has the shorter queue.
+  std::vector<FacilityState> snap = {make_state("nersc", 500, 200, 0, 8),
+                                     make_state("alcf", 20, 200, 0, 8)};
+  Placement p = policy.place(small_request(), snap);
+  EXPECT_EQ(p.primary, "alcf");
+  EXPECT_EQ(p.hedge, "");  // greedy never hedges
+  EXPECT_LT(policy.predicted_turnaround(small_request(), snap[1]),
+            policy.predicted_turnaround(small_request(), snap[0]));
+}
+
+TEST(GreedyPolicy, CongestionSteersAwayFromBackloggedSite) {
+  GreedyPolicy policy;
+  // Identical sites except nersc already carries 16 in-flight placements
+  // against 8 slots: join-shortest-queue must route elsewhere.
+  std::vector<FacilityState> snap = {make_state("nersc", 10, 300, 16, 8),
+                                     make_state("alcf", 10, 300, 0, 8)};
+  EXPECT_EQ(policy.place(small_request(), snap).primary, "alcf");
+}
+
+TEST(GreedyPolicy, BlackedOutLinkIsUnreachable) {
+  GreedyPolicy policy;
+  // nersc is otherwise far better, but its WAN path factor is 0.
+  std::vector<FacilityState> snap = {make_state("nersc", 0, 60, 0, 8),
+                                     make_state("alcf", 900, 900, 4, 2)};
+  snap[0].link_bps = 0.0;
+  EXPECT_EQ(policy.place(small_request(), snap).primary, "alcf");
+}
+
+TEST(GreedyPolicy, SickSiteLosesToHealthyButStillPlaceable) {
+  GreedyPolicy policy;
+  std::vector<FacilityState> snap = {make_state("nersc", 10, 60, 0, 8),
+                                     make_state("alcf", 600, 600, 0, 6)};
+  snap[0].health = 0.1;  // below min_health: behind every healthy site
+  EXPECT_EQ(policy.place(small_request(), snap).primary, "alcf");
+
+  // When every site is sick the least-bad one is still used — refusing to
+  // place would lose the scan.
+  snap[1].health = 0.1;
+  EXPECT_EQ(policy.place(small_request(), snap).primary, "nersc");
+}
+
+TEST(HedgedPolicy, HedgesOnlyDeadlineScans) {
+  HedgedPolicy policy;
+  std::vector<FacilityState> snap = {make_state("nersc", 10, 100, 0, 8),
+                                     make_state("alcf", 50, 100, 0, 6)};
+  Placement no_deadline = policy.place(small_request(0.0), snap);
+  EXPECT_EQ(no_deadline.primary, "nersc");
+  EXPECT_EQ(no_deadline.hedge, "");
+
+  Placement with_deadline = policy.place(small_request(3600.0), snap);
+  EXPECT_EQ(with_deadline.primary, "nersc");
+  EXPECT_EQ(with_deadline.hedge, "alcf");
+  EXPECT_GE(with_deadline.hedge_delay, 120.0);  // min_hedge_delay floor
+}
+
+TEST(HedgedPolicy, NoHedgeWithoutAReachableRunnerUp) {
+  HedgedPolicy policy;
+  std::vector<FacilityState> snap = {make_state("nersc", 10, 100, 0, 8),
+                                     make_state("alcf", 10, 100, 0, 6)};
+  snap[1].link_bps = 0.0;  // runner-up blacked out: hedging it is pointless
+  Placement p = policy.place(small_request(3600.0), snap);
+  EXPECT_EQ(p.primary, "nersc");
+  EXPECT_EQ(p.hedge, "");
+
+  Placement solo = policy.place(small_request(3600.0),
+                                {make_state("nersc", 10, 100, 0, 8)});
+  EXPECT_EQ(solo.primary, "nersc");
+  EXPECT_EQ(solo.hedge, "");
+}
+
+TEST(PolicyFactory, ShippedNamesResolveUnknownIsNull) {
+  EXPECT_NE(make_policy("round_robin"), nullptr);
+  EXPECT_NE(make_policy("greedy"), nullptr);
+  EXPECT_NE(make_policy("hedged"), nullptr);
+  EXPECT_EQ(make_policy("static_dual"), nullptr);  // not a dynamic policy
+  EXPECT_EQ(make_policy("oracle"), nullptr);
+}
+
+TEST(FacilityDirectory, InflightAccountingAndSnapshotOrder) {
+  // Real adapters (the directory reads availability + queue stats straight
+  // from them); the cloud adapter is the lightest to stand up.
+  sim::Engine eng;
+  hpc::CloudBurstAdapter adapter_a(eng, hpc::ComputeModel{});
+  hpc::CloudBurstAdapter adapter_b(eng, hpc::ComputeModel{});
+
+  FacilityDirectory dir;
+  FacilityInfo a;
+  a.name = "nersc";
+  a.flow_name = "recon_nersc";
+  a.adapter = &adapter_a;
+  dir.add(std::move(a));
+  FacilityInfo b;
+  b.name = "alcf";
+  b.flow_name = "recon_alcf";
+  b.adapter = &adapter_b;
+  dir.add(std::move(b));
+
+  EXPECT_TRUE(dir.has("nersc"));
+  EXPECT_FALSE(dir.has("cloud"));
+  EXPECT_EQ(dir.flow_for("alcf"), "recon_alcf");
+  EXPECT_EQ(dir.flow_for("cloud"), "");
+
+  dir.note_placed("nersc");
+  dir.note_placed("nersc");
+  dir.note_finished("nersc");
+  EXPECT_EQ(dir.inflight("nersc"), 1u);
+  EXPECT_EQ(dir.inflight("alcf"), 0u);
+
+  // Registration order is the snapshot order (deterministic tie-breaks).
+  auto snap = dir.snapshot(0.0);
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "nersc");
+  EXPECT_EQ(snap[1].name, "alcf");
+  EXPECT_EQ(snap[0].inflight_placements, 1u);
+  EXPECT_FALSE(snap[0].has_link);  // no WAN path registered
+}
+
+// ---------------------------------------------------------------------------
+// Facility integration: Scheduled placement mode
+// ---------------------------------------------------------------------------
+
+data::ScanMetadata facility_scan(const std::string& id) {
+  data::ScanMetadata m;
+  m.scan_id = id;
+  m.sample_name = "sched-sample";
+  m.proposal = "ALS-11532";
+  m.user = "visiting-user";
+  m.rows = 512;
+  m.cols = 2560;
+  m.n_angles = 500;
+  m.bit_depth = 16;
+  m.exposure_s = 0.05;
+  m.energy_kev = 25.0;
+  m.pixel_um = 0.65;
+  return m;
+}
+
+TEST(FacilityScheduled, OneDecisionReplacesTheDualBranches) {
+  pipeline::FacilityConfig cfg;
+  cfg.seed = 42;
+  pipeline::Facility fac(cfg);
+
+  std::vector<sim::Future<pipeline::ScanOutcome>> futs;
+  pipeline::ScanOptions options;
+  options.streaming = false;
+  options.archive = false;
+  options.placement = pipeline::PlacementMode::Scheduled;
+  for (int i = 0; i < 3; ++i) {
+    fac.engine().schedule_at(double(i) * 180.0, [&fac, &futs, i, options] {
+      futs.push_back(fac.process_scan(
+          facility_scan("sched-scan-" + std::to_string(i)), options));
+    });
+  }
+  fac.engine().run();
+
+  ASSERT_EQ(futs.size(), 3u);
+  for (auto& fut : futs) {
+    ASSERT_TRUE(fut.done());
+    const pipeline::ScanOutcome& out = fut.value();
+    // Scheduled mode routes through the scheduler, not the static branches.
+    EXPECT_FALSE(out.nersc.has_value());
+    EXPECT_FALSE(out.alcf.has_value());
+    ASSERT_TRUE(out.sched.has_value());
+    EXPECT_TRUE(out.sched->completed);
+    EXPECT_TRUE(fac.directory().has(out.sched->facility));
+    EXPECT_GT(out.sched->turnaround(), 0.0);
+  }
+  EXPECT_EQ(fac.scheduler().scans_completed(), 3u);
+  EXPECT_EQ(fac.scheduler().scans_lost(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet campaigns
+// ---------------------------------------------------------------------------
+
+TEST(FleetCampaign, ThousandScansAcrossEightBeamlinesZeroLost) {
+  FleetCampaignConfig cfg;
+  cfg.beamlines = 8;
+  cfg.scans_per_beamline = 130;  // 1040 offered
+  cfg.policy = "greedy";
+  FleetCampaignReport rep = run_fleet_campaign(cfg);
+
+  EXPECT_EQ(rep.offered, 1040u);
+  EXPECT_EQ(rep.completed, rep.offered);
+  EXPECT_EQ(rep.lost, 0u);
+  // Dynamic placement actually spreads load: more than one facility used.
+  std::size_t used = 0, launches = 0;
+  for (const auto& [facility, count] : rep.placements) {
+    if (count > 0) ++used;
+    launches += count;
+  }
+  EXPECT_GE(used, 2u);
+  EXPECT_GE(launches, rep.offered);
+  EXPECT_GT(rep.makespan, 0.0);
+}
+
+TEST(FleetCampaign, MidCampaignBlackoutLosesNothingAndReplaysExactly) {
+  FleetCampaignConfig cfg;
+  cfg.beamlines = 8;
+  cfg.scans_per_beamline = 16;  // 128 offered
+  cfg.policy = "greedy";
+  // Burst arrivals well past fleet capacity so every site carries a queue
+  // when the fault lands — the outage then strands jobs *queued* at NERSC,
+  // not just the narrow window of mid-submission scans.
+  cfg.scan_interval = 10.0;
+  // Aggressive failover so stalled placements re-route inside the test
+  // horizon.
+  cfg.scheduler.failover_timeout = 600.0;
+  // NERSC goes dark mid-campaign for a full hour: placements already
+  // in flight there stall (an outage reads as queue wait, never failure),
+  // new placements avoid it via the availability gate, and the stalled
+  // ones fail over after the timeout.
+  cfg.scenario = {"nersc_blackout",
+                  {{chaos::FaultKind::FacilityOutage, 120.0, 3600.0, "nersc",
+                    0.0}}};
+
+  FleetCampaignReport first = run_fleet_campaign(cfg);
+  EXPECT_EQ(first.offered, 128u);
+  EXPECT_EQ(first.completed, first.offered);
+  EXPECT_EQ(first.lost, 0u) << "a facility blackout must never lose scans";
+  EXPECT_GT(first.failovers, 0u)
+      << "stalled placements must have re-routed somewhere";
+
+  // Determinism under chaos: the same seed + fault schedule reproduces the
+  // campaign byte-for-byte (same winners, same turnaround bits).
+  FleetCampaignReport second = run_fleet_campaign(cfg);
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.failovers, second.failovers);
+  EXPECT_EQ(first.placements, second.placements);
+}
+
+TEST(FleetCampaign, HedgedPolicyCompletesDeadlineMix) {
+  FleetCampaignConfig cfg;
+  cfg.beamlines = 4;
+  cfg.scans_per_beamline = 24;
+  cfg.policy = "hedged";
+  cfg.deadline_every = 2;
+  FleetCampaignReport rep = run_fleet_campaign(cfg);
+  EXPECT_EQ(rep.completed, rep.offered);
+  EXPECT_EQ(rep.lost, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded merged queries == unsharded golden
+// ---------------------------------------------------------------------------
+
+TEST(FleetMergedQueries, MatchUnshardedDatabaseExactly) {
+  FleetCampaignConfig cfg;
+  cfg.beamlines = 4;
+  cfg.scans_per_beamline = 16;
+  cfg.policy = "round_robin";  // spreads runs over every shard + facility
+  FleetWorld world(cfg);
+  FleetCampaignReport rep = world.run();
+  ASSERT_EQ(rep.lost, 0u);
+
+  Fleet& fleet = world.fleet();
+  const std::size_t kAll = 1u << 20;  // cover every run
+  for (const char* flow_name : {"recon_nersc", "recon_alcf"}) {
+    // Rebuild one unsharded database holding the same completed runs, in
+    // the merge's global completion order, and ask it the Table-2 query.
+    std::vector<flow::FlowRunRecord> recs;
+    for (const flow::RunDatabase* db : fleet.run_dbs()) {
+      for (auto& rec :
+           db->runs_in_state(flow_name, flow::RunState::Completed)) {
+        recs.push_back(std::move(rec));
+      }
+    }
+    ASSERT_FALSE(recs.empty()) << flow_name;
+    std::sort(recs.begin(), recs.end(),
+              [](const flow::FlowRunRecord& a, const flow::FlowRunRecord& b) {
+                if (a.finished_at != b.finished_at) {
+                  return a.finished_at < b.finished_at;
+                }
+                if (a.created_at != b.created_at) {
+                  return a.created_at < b.created_at;
+                }
+                return a.id < b.id;
+              });
+    flow::RunDatabase golden;
+    for (const auto& rec : recs) {
+      const std::string id =
+          golden.create_run(flow_name, rec.created_at, rec.parameters);
+      golden.mark_finished(id, flow::RunState::Completed, rec.finished_at);
+    }
+
+    Summary merged = fleet.merged_duration_summary(flow_name, kAll);
+    Summary single = golden.duration_summary(flow_name, kAll);
+    EXPECT_EQ(merged.n, single.n);
+    EXPECT_DOUBLE_EQ(merged.mean, single.mean);
+    EXPECT_DOUBLE_EQ(merged.stddev, single.stddev);
+    EXPECT_DOUBLE_EQ(merged.median, single.median);
+    EXPECT_DOUBLE_EQ(merged.min, single.min);
+    EXPECT_DOUBLE_EQ(merged.max, single.max);
+    EXPECT_DOUBLE_EQ(merged.p05, single.p05);
+    EXPECT_DOUBLE_EQ(merged.p95, single.p95);
+
+    // Same for the per-task quantile query.
+    std::vector<std::pair<Seconds, double>> samples;
+    for (const flow::RunDatabase* db : fleet.run_dbs()) {
+      for (auto& s : db->completed_task_durations(flow_name, "recon")) {
+        samples.push_back(s);
+      }
+    }
+    ASSERT_FALSE(samples.empty()) << flow_name;
+    std::sort(samples.begin(), samples.end());
+    flow::RunDatabase task_golden;
+    for (const auto& [finished_at, duration] : samples) {
+      flow::TaskRunRecord t;
+      t.flow_run_id = "golden-run";
+      t.task_name = "recon";
+      t.state = flow::RunState::Completed;
+      t.attempts = 1;
+      t.started_at = finished_at - duration;
+      t.finished_at = finished_at;
+      task_golden.record_task(std::move(t));
+    }
+    auto merged_q =
+        fleet.merged_task_duration_quantiles(flow_name, "recon", kAll);
+    auto single_q = task_golden.task_duration_quantiles("", "recon", kAll);
+    EXPECT_EQ(merged_q.n, single_q.n);
+    EXPECT_DOUBLE_EQ(merged_q.p50, single_q.p50);
+    EXPECT_DOUBLE_EQ(merged_q.p95, single_q.p95);
+    EXPECT_DOUBLE_EQ(merged_q.p99, single_q.p99);
+  }
+}
+
+}  // namespace
+}  // namespace alsflow::sched
